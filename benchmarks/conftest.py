@@ -1,0 +1,55 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the corresponding experiment (timed by pytest-benchmark), saves the
+rendered rows/series under ``benchmarks/results/``, and asserts the
+paper's *shape* — who wins, by roughly what factor, where the
+crossovers fall.
+
+Scale: ``REPRO_SCALE`` (default 0.1 — a 10 000 × 1 000 joinABprime)
+keeps the suite quick; set ``REPRO_SCALE=1.0`` to regenerate
+everything at the paper's full 100 000 × 10 000 scale (as recorded in
+EXPERIMENTS.md).  Assertions are written to hold at both; a few
+claims that only emerge at full scale are guarded by
+``full_scale_only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_environment(default_scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def full_scale(config) -> bool:
+    return config.scale >= 0.5
+
+
+@pytest.fixture
+def save_report(request):
+    """Render an experiment outcome and persist it under results/."""
+
+    def _save(outcome, name: str | None = None) -> str:
+        text = render(outcome)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        target = RESULTS_DIR / f"{name or request.node.name}.txt"
+        target.write_text(text + "\n")
+        return text
+
+    return _save
+
+
+def run_once(benchmark, func, *args):
+    """Time one execution of an experiment sweep."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Figure 7: Hybrid at intermediate memory points.
+
+Paper shape: performance is optimal at the integral-bucket ratios 0.5
+and 1.0; between them, the optimistic single-bucket-plus-overflow
+variant beats the flat two-bucket (pessimistic) line only close to
+1.0, then rises above it — the CPU cost of repeatedly clearing the
+hash table plus the >50 % of tuples the heuristic eventually spools.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_figure7(benchmark, config, save_report):
+    figure = run_once(benchmark, figures.figure7, config)
+    save_report(figure, "figure7")
+    optimistic = figure.series_by_label("hybrid-overflow (optimistic)")
+    pessimistic = figure.series_by_label(
+        "hybrid-2-buckets (pessimistic)")
+
+    # The integral endpoints coincide (no overflow at 1.0; identical
+    # two-bucket plans at 0.5).
+    assert optimistic.y_at(1.0) == pessimistic.y_at(1.0)
+
+    # The pessimistic option is a flat step between the endpoints.
+    plateau = [pessimistic.y_at(r) for r in (0.5, 0.6, 0.7, 0.8, 0.9)]
+    assert max(plateau) - min(plateau) < 1e-6
+
+    # The optimist wins just below 1.0 ...
+    assert optimistic.y_at(0.9) < pessimistic.y_at(0.9)
+    # ... and loses once real fractions of the relations overflow.
+    assert optimistic.y_at(0.6) > pessimistic.y_at(0.6)
+
+    # Overflow work grows monotonically as memory shrinks from 0.9.
+    descending = [optimistic.y_at(r) for r in (0.9, 0.8, 0.7, 0.6)]
+    assert descending == sorted(descending)
+
+    # The overflow variant pushed more than the naive share to disk:
+    # its 0.6 point exceeds the linear interpolation (perfect
+    # partitioning) by a clear margin.
+    optimal = figure.series_by_label("optimal (perfect partitioning)")
+    assert optimistic.y_at(0.6) > 1.1 * optimal.y_at(0.6)

@@ -1,0 +1,41 @@
+"""Figure 8: HPJA local joins with bit-vector filters.
+
+Paper shape: "the relative positions of the algorithms have not
+changed, only the execution times have dropped" (§4.2).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_figure8(benchmark, config, save_report):
+    fig8 = run_once(benchmark, figures.figure8, config)
+    save_report(fig8, "figure8")
+    fig5 = figures.figure5(config)
+
+    # Every algorithm improves at every ratio.
+    for label in ("hybrid", "grace", "simple", "sort-merge"):
+        for ratio in config.memory_ratios:
+            assert (fig8.series_by_label(label).y_at(ratio)
+                    < fig5.series_by_label(label).y_at(ratio)), label
+
+    # Hybrid still beats Grace everywhere.
+    for ratio in config.memory_ratios:
+        assert (fig8.series_by_label("hybrid").y_at(ratio)
+                < fig8.series_by_label("grace").y_at(ratio))
+
+    # Simple still equals Hybrid at ratio 1.0.
+    assert fig8.series_by_label("simple").y_at(1.0) == \
+        fig8.series_by_label("hybrid").y_at(1.0)
+
+    # Sort-merge and Simple gain the most from filtering (Table 4's
+    # ordering): filtered tuples skip their disk I/O, not just the
+    # network and probes.
+    def improvement(label, ratio):
+        before = fig5.series_by_label(label).y_at(ratio)
+        after = fig8.series_by_label(label).y_at(ratio)
+        return 1 - after / before
+
+    low = config.memory_ratios[-1]
+    assert improvement("simple", low) > improvement("grace", low)
+    assert improvement("sort-merge", low) > improvement("grace", low)

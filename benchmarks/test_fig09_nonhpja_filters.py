@@ -1,0 +1,29 @@
+"""Figure 9: non-HPJA local joins with bit-vector filters."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_figure9(benchmark, config, save_report):
+    fig9 = run_once(benchmark, figures.figure9, config)
+    save_report(fig9, "figure9")
+    fig6 = figures.figure6(config)
+    fig8 = figures.figure8(config)
+
+    # Filters help non-HPJA joins at every point.
+    for label in ("hybrid", "grace", "simple", "sort-merge"):
+        for ratio in config.memory_ratios:
+            assert (fig9.series_by_label(label).y_at(ratio)
+                    < fig6.series_by_label(label).y_at(ratio)), label
+
+    # Filtered non-HPJA is still slower than filtered HPJA (the
+    # short-circuit advantage is orthogonal to filtering).
+    for label in ("hybrid", "grace", "sort-merge"):
+        for ratio in config.memory_ratios:
+            assert (fig9.series_by_label(label).y_at(ratio)
+                    > fig8.series_by_label(label).y_at(ratio)), label
+
+    # Orderings unchanged.
+    for ratio in config.memory_ratios:
+        assert (fig9.series_by_label("hybrid").y_at(ratio)
+                < fig9.series_by_label("grace").y_at(ratio))

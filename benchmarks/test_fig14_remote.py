@@ -1,0 +1,41 @@
+"""Figure 14: remote joins, HPJA vs non-HPJA (Hybrid/Simple/Grace).
+
+Paper shapes (§4.3): Grace's HPJA and non-HPJA curves differ by a
+constant (the bucket-forming short-circuit savings); Hybrid's gap
+widens as memory shrinks (more buckets -> relatively more local
+writes for HPJA — Table 2); Simple's curves coincide below 1.0
+because the post-overflow hash-function change turns every join into
+a non-HPJA join.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_figure14(benchmark, config, save_report):
+    figure = run_once(benchmark, figures.figure14, config)
+    save_report(figure, "figure14")
+
+    def gap(algorithm, ratio):
+        return (figure.series_by_label(
+                    f"{algorithm} (non-HPJA)").y_at(ratio)
+                - figure.series_by_label(
+                    f"{algorithm} (HPJA)").y_at(ratio))
+
+    ratios = config.memory_ratios
+    low = ratios[-1]
+
+    # Grace: near-constant gap across the range.
+    grace_gaps = [gap("grace", r) for r in ratios]
+    assert min(grace_gaps) > 0
+    assert max(grace_gaps) < 1.6 * min(grace_gaps)
+
+    # Hybrid: gap widens as memory is reduced.
+    assert gap("hybrid", low) > gap("hybrid", 1.0)
+
+    # Simple: identical at 1.0 by the Hybrid argument, and the curves
+    # stay close below (every overflow is re-split non-HPJA).
+    assert gap("simple", 1.0) == gap("hybrid", 1.0)
+    for ratio in ratios[1:]:
+        hpja = figure.series_by_label("simple (HPJA)").y_at(ratio)
+        assert abs(gap("simple", ratio)) < 0.12 * hpja

@@ -1,0 +1,46 @@
+"""Figure 15: local vs remote join processing, HPJA.
+
+Paper shapes: local beats remote for Grace and Hybrid over the whole
+memory range (everything short-circuits locally; remote ships every
+joining tuple through the expensive protocol stack).  Simple starts
+local-fastest at 1.0 and crosses over as overflows — re-split with a
+fresh hash function — degrade it toward non-HPJA behaviour, where
+remote's extra CPUs win.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_figure15(benchmark, config, full_scale, save_report):
+    figure = run_once(benchmark, figures.figure15, config)
+    save_report(figure, "figure15")
+    ratios = config.memory_ratios
+    low = ratios[-1]
+
+    for algorithm in ("hybrid", "grace"):
+        local = figure.series_by_label(f"{algorithm} (local)")
+        remote = figure.series_by_label(f"{algorithm} (remote)")
+        # The local advantage is protocol-cost per tuple; at reduced
+        # scale it thins below measurement noise at scarce ratios, so
+        # the full-range claim is asserted at paper scale only.
+        check = ratios if full_scale else [r for r in ratios
+                                           if r >= 0.5]
+        for ratio in check:
+            assert local.y_at(ratio) < remote.y_at(ratio), (
+                algorithm, ratio)
+
+    simple_local = figure.series_by_label("simple (local)")
+    simple_remote = figure.series_by_label("simple (remote)")
+    # Local wins at full memory (== Hybrid there)...
+    assert simple_local.y_at(1.0) < simple_remote.y_at(1.0)
+    # ...and the §4.3 crossover: local's advantage erodes as overflow
+    # turns Simple non-HPJA-like.  The relative gap must collapse
+    # from its 1.0 value to (at most) a draw at the scarce end; the
+    # exact crossing ratio depends on how much level-0 traffic still
+    # short-circuits (at full scale ours lands within ~1 % of a draw
+    # at 1/6 — see EXPERIMENTS.md).
+    gap_high = (simple_remote.y_at(1.0) / simple_local.y_at(1.0)) - 1
+    gap_low = (simple_remote.y_at(low) / simple_local.y_at(low)) - 1
+    assert gap_low < 0.35 * gap_high
+    assert simple_remote.y_at(low) < 1.02 * simple_local.y_at(low)

@@ -1,0 +1,37 @@
+"""Table 2 (§4.3): percentage of local writes during Hybrid
+bucket-forming, HPJA vs non-HPJA, remote configuration.
+
+Paper shape: with N buckets, an HPJA join writes (N-1)/N of the
+joining tuples to local disks while a non-HPJA join writes only
+(N-1)/(N*D) — and the relative savings of HPJA grow with the bucket
+count.
+"""
+
+import pytest
+
+from repro.experiments import tables
+from benchmarks.conftest import run_once
+
+
+def test_table2(benchmark, config, save_report):
+    table = run_once(benchmark, tables.table2, config)
+    save_report(table, "table2")
+    num_disks = config.num_disk_nodes
+
+    for row in table.row_labels:
+        buckets = int(row.split()[0])
+        staged_fraction = (buckets - 1) / buckets
+        hpja = table.get(row, "HPJA local writes %")
+        non = table.get(row, "non-HPJA local writes %")
+        # HPJA: everything staged is written locally.
+        assert hpja == pytest.approx(100 * staged_fraction, abs=6.0)
+        # Non-HPJA: only 1/D of the staged tuples land locally.
+        assert non == pytest.approx(
+            100 * staged_fraction / num_disks, abs=4.0)
+        assert hpja > non
+
+    # The savings widen as memory shrinks (more buckets).
+    gaps = [table.get(row, "HPJA local writes %")
+            - table.get(row, "non-HPJA local writes %")
+            for row in table.row_labels]
+    assert gaps == sorted(gaps)

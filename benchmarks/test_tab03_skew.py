@@ -1,0 +1,73 @@
+"""Table 3 (§4.4): response times under non-uniform join attributes.
+
+Paper shapes asserted:
+
+* sort-merge runs NU *faster* than UU (the skewed inner relation lets
+  the merge stop reading the outer early) — the paper's surprising
+  result;
+* Hybrid handles UN (outer skewed) nearly as well as UU — the
+  "re-establishing one-to-many relationships" case the paper calls
+  encouraging;
+* scarce memory hurts the hash algorithms far more than sort-merge
+  under inner skew (the basis of the paper's conclusion that a
+  non-hash algorithm should be chosen there);
+* the NN result cardinality explodes (paper: 368 474 tuples), which
+  is why the paper leaves NN out of the grid.
+
+Known divergence (recorded in EXPERIMENTS.md): our NU hash joins are
+not slowed as dramatically as Gamma's were at 100 % memory, because
+the avalanche hash plus fine-grained overflow histogram resolves
+value clusters more cheaply than Gamma's locality-preserving hash
+did (their Simple NU at 17 % took 1 806 s).
+"""
+
+import pytest
+
+from repro.experiments import tables
+from benchmarks.conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def table(config):
+    return tables.table3(config)
+
+
+def test_table3(benchmark, config, save_report):
+    table = run_once(benchmark, tables.table3, config)
+    save_report(table, "table3")
+
+    # Sort-merge: NU beats UU at both memory levels.
+    assert (table.get("sort-merge", "NU@100%")
+            < table.get("sort-merge", "UU@100%"))
+    assert (table.get("sort-merge", "NU@17%")
+            < table.get("sort-merge", "UU@17%"))
+
+    # Hybrid: UN within a modest factor of UU.
+    assert table.get("hybrid", "UN@100%") < 1.35 * table.get(
+        "hybrid", "UU@100%")
+
+    # The §5 recommendation: under inner skew with scarce memory,
+    # sort-merge wins against every hash algorithm.
+    for algorithm in ("hybrid", "grace", "simple"):
+        assert (table.get("sort-merge", "NU@17%")
+                < table.get(algorithm, "NU@17%")), algorithm
+
+    # Scarce memory hurts every algorithm (weakly for sort-merge,
+    # whose pass count may not change at reduced scale).
+    for row in ("hybrid", "grace", "simple"):
+        for kind in ("UU", "NU", "UN"):
+            assert (table.get(row, f"{kind}@17%")
+                    > table.get(row, f"{kind}@100%")), (row, kind)
+
+
+def test_nn_cardinality(config, save_report):
+    nn = tables.nn_cardinality(config)
+    outer = round(100_000 * config.scale)
+    save_report(f"NN join result cardinality at scale {config.scale}: "
+                f"{nn} tuples ({nn / outer:.2f}x the outer relation; "
+                "paper: 368,474 at full scale = 3.68x)",
+                "table3_nn")
+    assert nn > 2.0 * outer
+    if config.scale >= 0.5:
+        # The paper's 368 474 at 100k outer: ~3.7x.
+        assert 2.8 * outer < nn < 4.8 * outer

@@ -1,0 +1,33 @@
+"""Table 4 (§4.4): percentage improvement from bit-vector filters
+under the skew design space.
+
+Paper shapes: every algorithm gains at every grid point; within each
+algorithm the NU column gains the most (the normally distributed
+build values collide when setting bits, leaving a more selective
+filter); Grace gains the least of the four (its filters never
+eliminate disk I/O — bucket-forming is unfiltered).
+"""
+
+from repro.experiments import tables
+from benchmarks.conftest import run_once
+
+
+def test_table4(benchmark, config, save_report):
+    table = run_once(benchmark, tables.table4, config)
+    save_report(table, "table4")
+
+    # Positive improvement everywhere.
+    for row in table.row_labels:
+        for column in table.column_labels:
+            assert table.get(row, column) > 0, (row, column)
+
+    # NU gains at least as much as UU for the hash algorithms at
+    # 100 % (the duplicate-collision effect).
+    for row in ("hybrid", "simple", "sort-merge"):
+        assert (table.get(row, "NU@100%")
+                > 0.9 * table.get(row, "UU@100%")), row
+
+    # Grace gains the least at 100 % memory (no disk I/O saved).
+    grace = table.get("grace", "UU@100%")
+    for row in ("hybrid", "simple", "sort-merge"):
+        assert grace < table.get(row, "UU@100%"), row

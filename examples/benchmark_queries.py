@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The Wisconsin benchmark query family, including a chained plan.
+
+Runs the three §4 benchmark queries:
+
+* joinABprime      — the paper's reported query;
+* joinAselB        — a 10 % selection pushed to the scan sites;
+* joinCselAselB    — the three-relation plan, executed as two chained
+  parallel joins: the (selected) A x Bprime stage is stored
+  round-robin across the disks, then that result relation is joined
+  with C — exactly how Gamma executes multi-join query trees
+  (§2.2: the root's result feeds store operators, which another
+  operator tree can scan).
+
+Run:  python examples/benchmark_queries.py [scale]
+"""
+
+import sys
+
+from repro import GammaMachine, WisconsinDatabase, run_join
+from repro.core.joins.reference import reference_join, result_multiset
+from repro.wisconsin import WisconsinGenerator
+from repro.wisconsin.queries import join_abprime, join_asel_b
+from repro.catalog import HashPartitioning, load_relation
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    db = WisconsinDatabase.joinabprime(8, scale=scale, seed=21)
+
+    print("=== joinABprime (the paper's workhorse) ===")
+    query = join_abprime()
+    machine = GammaMachine.local(8)
+    ab = run_join("hybrid", machine, db.outer, db.inner,
+                  memory_ratio=0.5, bit_filters=True,
+                  **query.spec_kwargs())
+    print(ab.summary())
+
+    print("\n=== joinAselB (selection pushed below the join) ===")
+    query = join_asel_b(outer_cardinality=db.outer.cardinality)
+    machine = GammaMachine.local(8)
+    aselb = run_join("hybrid", machine, db.outer, db.inner,
+                     memory_ratio=0.5, bit_filters=True,
+                     **query.spec_kwargs())
+    print(aselb.summary())
+    print(f"outer tuples shipped: {ab.network.data_tuples} -> "
+          f"{aselb.network.data_tuples} "
+          "(the selection runs at the disk sites)")
+
+    print("\n=== joinCselAselB (two chained parallel joins) ===")
+    # Stage 1: (sel A) x Bprime, result stored round-robin.
+    query = join_asel_b(outer_cardinality=db.outer.cardinality)
+    machine = GammaMachine.local(8)
+    stage1 = run_join("hybrid", machine, db.outer, db.inner,
+                      memory_ratio=0.5, **query.spec_kwargs())
+    result_schema = db.inner.schema.concat(db.outer.schema,
+                                           name="ABprime")
+    intermediate = stage1.as_relation("ABprime", result_schema)
+    print(f"stage 1: {stage1.summary()}")
+
+    # Stage 2: the intermediate joined with a fresh C relation on
+    # unique1 (C's key matches A's unique1 domain).
+    generator = WisconsinGenerator(seed=77)
+    c_rows = generator.relation_rows(db.outer.cardinality)
+    relation_c = load_relation("C", generator.schema, c_rows,
+                               HashPartitioning("unique1"), 8)
+    machine = GammaMachine.local(8)
+    stage2 = run_join("hybrid", machine, relation_c, intermediate,
+                      inner_attribute="unique1",   # from Bprime side
+                      outer_attribute="unique1",
+                      memory_ratio=0.5)
+    print(f"stage 2: {stage2.summary()}")
+    total = stage1.response_time + stage2.response_time
+    print(f"total plan response time: {total:.2f} s")
+
+    # Verify the chained plan against a direct reference computation.
+    expected_stage1 = reference_join(
+        db.outer, db.inner, "unique1", "unique1",
+        outer_predicate=query.outer_predicate)
+    key = result_schema.index_of("unique1")
+    by_value = {}
+    for row in expected_stage1:
+        by_value.setdefault(row[key], []).append(row)
+    expected_stage2 = [inner_row + c_row
+                       for c_row in relation_c.all_rows()
+                       for inner_row in by_value.get(c_row[0], [])]
+    assert result_multiset(stage2.result_rows) == \
+        result_multiset(expected_stage2)
+    print(f"verified: {stage2.result_tuples} final tuples match the "
+          "reference plan")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reproduction of Schneider & DeWitt, SIGMOD 1989.
+
+``repro`` implements the four parallel join algorithms evaluated in
+"A Performance Evaluation of Four Parallel Join Algorithms in a
+Shared-Nothing Multiprocessor Environment" — sort-merge, Simple hash,
+Grace hash, and Hybrid hash — together with the complete substrate the
+paper runs them on: a discrete-event simulation of the Gamma database
+machine (per-node CPUs and disks, a shared token ring, the WiSS storage
+layer, split tables, bit-vector filters, and the Wisconsin benchmark
+workload).
+
+Quickstart
+----------
+>>> from repro import GammaMachine, WisconsinDatabase, run_join
+>>> machine = GammaMachine.local(num_disk_nodes=8)
+>>> db = WisconsinDatabase.joinabprime(machine, scale=0.05, seed=7)
+>>> result = run_join("hybrid", machine, db.outer, db.inner,
+...                   memory_ratio=0.5)
+>>> result.result_tuples == db.expected_result_tuples
+True
+
+The experiment harness that regenerates every figure and table of the
+paper lives in :mod:`repro.experiments` and is also exposed as the
+``gamma-joins`` console script.
+"""
+
+from repro.costs import CostModel
+from repro.catalog import (
+    HashPartitioning,
+    RangeKeyPartitioning,
+    RangeUniformPartitioning,
+    Relation,
+    RoundRobinPartitioning,
+    Schema,
+)
+from repro.engine import GammaMachine
+from repro.core import (
+    ALGORITHMS,
+    BitFilterPolicy,
+    JoinResult,
+    JoinSpec,
+    run_join,
+)
+from repro.wisconsin import WisconsinDatabase, WisconsinGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BitFilterPolicy",
+    "CostModel",
+    "GammaMachine",
+    "HashPartitioning",
+    "JoinResult",
+    "JoinSpec",
+    "RangeKeyPartitioning",
+    "RangeUniformPartitioning",
+    "Relation",
+    "RoundRobinPartitioning",
+    "Schema",
+    "WisconsinDatabase",
+    "WisconsinGenerator",
+    "run_join",
+    "__version__",
+]

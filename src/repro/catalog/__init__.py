@@ -1,0 +1,34 @@
+"""Catalog: schemas, relations, and Gamma's physical database design.
+
+In Gamma every relation is horizontally partitioned across all disk
+drives (Ries & Epstein declustering).  This package models that
+physical design layer: attribute schemas, partitioned relations, the
+four tuple-distribution policies the paper lists in §2.2 (round-robin,
+hashed, range partitioned by user-specified key values, and range
+partitioned with uniform distribution), and the bulk loader that
+applies them.
+"""
+
+from repro.catalog.schema import Attribute, AttributeKind, Schema
+from repro.catalog.relation import Relation
+from repro.catalog.partitioning import (
+    HashPartitioning,
+    PartitioningStrategy,
+    RangeKeyPartitioning,
+    RangeUniformPartitioning,
+    RoundRobinPartitioning,
+)
+from repro.catalog.loader import load_relation
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "HashPartitioning",
+    "PartitioningStrategy",
+    "RangeKeyPartitioning",
+    "RangeUniformPartitioning",
+    "Relation",
+    "RoundRobinPartitioning",
+    "Schema",
+    "load_relation",
+]

@@ -1,0 +1,96 @@
+"""Horizontally partitioned relations.
+
+A :class:`Relation` is the catalog's view of a stored table: a schema,
+one tuple-list fragment per disk site, and the partitioning descriptor
+it was loaded with.  Fragment ``i`` lives on disk node ``i`` of the
+machine the relation is loaded for (Gamma partitions every relation
+across *all* disks — §2.2).
+
+Relations are logical catalog objects; the simulated cost of reading
+them is charged by the scan operators in :mod:`repro.engine.operators`
+using the page arithmetic exposed here.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.catalog.partitioning import PartitioningStrategy
+from repro.catalog.schema import Schema
+
+Row = typing.Tuple
+
+
+class Relation:
+    """A named, horizontally partitioned relation."""
+
+    def __init__(self, name: str, schema: Schema,
+                 fragments: typing.Sequence[typing.Sequence[Row]],
+                 partitioning: PartitioningStrategy | None = None) -> None:
+        if not fragments:
+            raise ValueError(f"relation {name!r} needs >= 1 fragment")
+        self.name = name
+        self.schema = schema
+        self.fragments: list[list[Row]] = [list(f) for f in fragments]
+        self.partitioning = partitioning
+
+    # -- size arithmetic ----------------------------------------------------
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def cardinality(self) -> int:
+        return sum(len(f) for f in self.fragments)
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.schema.tuple_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.cardinality * self.schema.tuple_bytes
+
+    def fragment_pages(self, fragment: int, page_size: int) -> int:
+        """Disk pages occupied by one fragment."""
+        tuples_per_page = max(1, page_size // self.schema.tuple_bytes)
+        return math.ceil(len(self.fragments[fragment]) / tuples_per_page)
+
+    def total_pages(self, page_size: int) -> int:
+        return sum(self.fragment_pages(i, page_size)
+                   for i in range(self.num_fragments))
+
+    # -- convenience --------------------------------------------------------
+
+    def all_rows(self) -> list[Row]:
+        """Every tuple, fragment order (for verification, not for the
+        simulated data path)."""
+        rows: list[Row] = []
+        for fragment in self.fragments:
+            rows.extend(fragment)
+        return rows
+
+    def attribute_index(self, attribute: str) -> int:
+        return self.schema.index_of(attribute)
+
+    @property
+    def partitioning_attribute(self) -> str | None:
+        """The declared "key" attribute, or None for round-robin."""
+        if self.partitioning is None:
+            return None
+        return self.partitioning.attribute
+
+    def is_hash_partitioned_on(self, attribute: str) -> bool:
+        """True when a join on ``attribute`` is an HPJA join for this
+        relation: hash-declustered with ``attribute`` as the key."""
+        from repro.catalog.partitioning import HashPartitioning
+        return (isinstance(self.partitioning, HashPartitioning)
+                and self.partitioning.attribute == attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        policy = self.partitioning.describe() if self.partitioning else "?"
+        return (f"<Relation {self.name!r} |t|={self.cardinality} "
+                f"({self.total_bytes} bytes) over "
+                f"{self.num_fragments} sites, {policy}>")

@@ -1,0 +1,146 @@
+"""Attribute and schema definitions.
+
+Tuples ("rows") are plain Python tuples positionally aligned with a
+:class:`Schema`.  The schema carries the *declared byte width* of every
+attribute — 4-byte integers and fixed-width strings, exactly the
+Wisconsin benchmark layout — and all size accounting (pages, packets,
+memory) uses declared widths, never ``sys.getsizeof``.  This keeps the
+simulation's space arithmetic identical to the paper's regardless of
+CPython object overheads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+
+class AttributeKind(enum.Enum):
+    """The two Wisconsin-benchmark attribute kinds."""
+
+    INTEGER = "int"
+    STRING = "str"
+
+
+@dataclasses.dataclass(frozen=True)
+class Attribute:
+    """A named, fixed-width attribute."""
+
+    name: str
+    kind: AttributeKind
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(
+                f"attribute {self.name!r} must have positive width, "
+                f"got {self.width}")
+        if self.kind is AttributeKind.INTEGER and self.width != 4:
+            raise ValueError(
+                f"integer attribute {self.name!r} must be 4 bytes wide "
+                f"(Wisconsin layout), got {self.width}")
+
+    @classmethod
+    def integer(cls, name: str) -> "Attribute":
+        """A 4-byte integer attribute."""
+        return cls(name, AttributeKind.INTEGER, 4)
+
+    @classmethod
+    def string(cls, name: str, width: int = 52) -> "Attribute":
+        """A fixed-width string attribute (default 52 bytes)."""
+        return cls(name, AttributeKind.STRING, width)
+
+
+class Schema:
+    """An ordered collection of attributes.
+
+    Examples
+    --------
+    >>> s = Schema([Attribute.integer("unique1"), Attribute.string("s1")])
+    >>> s.tuple_bytes
+    56
+    >>> s.index_of("unique1")
+    0
+    """
+
+    def __init__(self, attributes: typing.Sequence[Attribute],
+                 name: str = "") -> None:
+        if not attributes:
+            raise ValueError("a schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate attribute names in schema: {sorted(duplicates)}")
+        self.name = name
+        self.attributes = tuple(attributes)
+        self._index = {a.name: i for i, a in enumerate(self.attributes)}
+        self.tuple_bytes = sum(a.width for a in self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> typing.Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def index_of(self, attribute_name: str) -> int:
+        """Positional index of ``attribute_name`` within rows."""
+        try:
+            return self._index[attribute_name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name or '<anon>'} has no attribute "
+                f"{attribute_name!r}; it has "
+                f"{[a.name for a in self.attributes]}") from None
+
+    def has_attribute(self, attribute_name: str) -> bool:
+        return attribute_name in self._index
+
+    def attribute(self, attribute_name: str) -> Attribute:
+        return self.attributes[self.index_of(attribute_name)]
+
+    def concat(self, other: "Schema", name: str = "") -> "Schema":
+        """Schema of (self ++ other) result tuples, as a join produces.
+
+        Name collisions are resolved by prefixing the right-hand
+        attribute with the right schema's name (or ``"r_"``).
+        """
+        prefix = (other.name + "_") if other.name else "r_"
+        left_names = {a.name for a in self.attributes}
+        merged = list(self.attributes)
+        for attr in other.attributes:
+            merged.append(
+                dataclasses.replace(attr, name=prefix + attr.name)
+                if attr.name in left_names else attr)
+        return Schema(merged, name=name or f"{self.name}x{other.name}")
+
+    def validate_row(self, row: typing.Sequence) -> None:
+        """Raise ``ValueError`` unless ``row`` structurally matches."""
+        if len(row) != len(self.attributes):
+            raise ValueError(
+                f"row has {len(row)} fields, schema "
+                f"{self.name or '<anon>'} has {len(self.attributes)}")
+        for value, attr in zip(row, self.attributes):
+            if attr.kind is AttributeKind.INTEGER:
+                if not isinstance(value, int):
+                    raise ValueError(
+                        f"attribute {attr.name!r} expects int, got "
+                        f"{type(value).__name__}")
+            elif not isinstance(value, str):
+                raise ValueError(
+                    f"attribute {attr.name!r} expects str, got "
+                    f"{type(value).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Schema {self.name or '<anon>'} "
+                f"{len(self.attributes)} attrs, "
+                f"{self.tuple_bytes} bytes/tuple>")

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: four parallel join algorithms.
+
+Everything here follows §3 and Appendix A of Schneider & DeWitt 1989:
+
+* :mod:`~repro.core.split_table` — partitioning/joining split tables
+  with the exact entry layouts of Appendix A.
+* :mod:`~repro.core.bucket_analyzer` — the Optimizer Bucket Analyzer.
+* :mod:`~repro.core.bit_filter` — Babb-style bit-vector filters.
+* :mod:`~repro.core.hash_table` — the in-memory join hash table with
+  the histogram-driven 10 %-clearing overflow mechanism.
+* :mod:`~repro.core.planner` — bucket-count planning (pessimistic vs
+  optimistic — Figure 7's tradeoff).
+* :mod:`~repro.core.joins` — the four drivers (sort-merge, Simple,
+  Grace, Hybrid) plus a reference nested-loops join for verification.
+
+The one-call entry point is :func:`~repro.core.joins.run_join`.
+"""
+
+from repro.core.bit_filter import BitFilter, FilterBank
+from repro.core.bucket_analyzer import analyze_buckets
+from repro.core.hash_table import JoinHashTable, JoinOverflowError
+from repro.core.planner import BucketPolicy, plan_buckets
+from repro.core.split_table import (
+    SPLIT_ENTRY_BYTES,
+    SplitEntry,
+    SplitTable,
+)
+from repro.core.joins import (
+    ALGORITHMS,
+    BitFilterPolicy,
+    JoinResult,
+    JoinSpec,
+    reference_join,
+    run_join,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BitFilter",
+    "BitFilterPolicy",
+    "FilterBank",
+    "JoinHashTable",
+    "JoinOverflowError",
+    "JoinResult",
+    "JoinSpec",
+    "BucketPolicy",
+    "SPLIT_ENTRY_BYTES",
+    "SplitEntry",
+    "SplitTable",
+    "analyze_buckets",
+    "plan_buckets",
+    "reference_join",
+    "run_join",
+]

@@ -1,0 +1,121 @@
+"""Bit-vector filters (Babb 1979 / Valduriez & Gardarin 1984; §4.2).
+
+Gamma dedicates a single 2 KB network packet to the filter of each
+(sub)join, shared across all joining sites — at eight sites that is
+the paper's 1 973 bits per site after packet overhead.  A
+:class:`BitFilter` is one site's slice; a :class:`FilterBank` is the
+full packet: one filter per join site, built at the build sites while
+the inner relation streams in, then broadcast so outer-relation
+producers can discard non-joining tuples *before* they are transmitted
+(and, for Simple hash and sort-merge, before they are spooled to
+disk).
+
+Because every sub-join (each Grace/Hybrid bucket, each Simple overflow
+level) gets a fresh 2 KB packet, increasing the number of buckets
+increases the aggregate filter size and therefore its selectivity —
+the effect behind the falling-then-rising Grace curve of Figure 12.
+
+Bits are indexed with :func:`repro.hashing.remix` so they are
+independent of the split-table residue (all tuples reaching one site
+share ``h mod J``; indexing with ``h`` directly would waste bits).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import hashing
+
+
+class BitFilter:
+    """One join site's slice of the filter packet."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        self.num_bits = num_bits
+        self._bits = 0
+        self.sets = 0
+        self.tests = 0
+        self.passed = 0
+
+    def _index(self, hash_code: int) -> int:
+        return hashing.remix(hash_code) % self.num_bits
+
+    def set(self, hash_code: int) -> None:
+        """Mark a building-relation hash code as present."""
+        self._bits |= 1 << self._index(hash_code)
+        self.sets += 1
+
+    def test(self, hash_code: int) -> bool:
+        """Might a probing tuple with this hash code join?
+
+        False means *definitely not* — the filter never produces false
+        negatives (property-tested); True may be a false positive.
+        """
+        self.tests += 1
+        hit = bool(self._bits >> self._index(hash_code) & 1)
+        if hit:
+            self.passed += 1
+        return hit
+
+    @property
+    def eliminated(self) -> int:
+        return self.tests - self.passed
+
+    @property
+    def bits_set(self) -> int:
+        return self._bits.bit_count()
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set (1.0 = useless filter)."""
+        return self.bits_set / self.num_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BitFilter {self.bits_set}/{self.num_bits} set, "
+                f"eliminated={self.eliminated}>")
+
+
+class FilterBank:
+    """The per-join 2 KB filter packet: one slice per join site."""
+
+    def __init__(self, num_sites: int, bits_per_site: int) -> None:
+        if num_sites < 1:
+            raise ValueError(f"num_sites must be >= 1, got {num_sites}")
+        self.filters = [BitFilter(bits_per_site) for _ in range(num_sites)]
+
+    def __len__(self) -> int:
+        return len(self.filters)
+
+    def __getitem__(self, site: int) -> BitFilter:
+        return self.filters[site]
+
+    def set(self, site: int, hash_code: int) -> None:
+        self.filters[site].set(hash_code)
+
+    def test(self, site: int, hash_code: int) -> bool:
+        return self.filters[site].test(hash_code)
+
+    @property
+    def total_tests(self) -> int:
+        return sum(f.tests for f in self.filters)
+
+    @property
+    def total_eliminated(self) -> int:
+        return sum(f.eliminated for f in self.filters)
+
+    def merge_counters_into(self, totals: dict[str, int]) -> None:
+        """Accumulate this bank's counters into a running stats dict."""
+        totals["filter_tests"] = (
+            totals.get("filter_tests", 0) + self.total_tests)
+        totals["filter_eliminated"] = (
+            totals.get("filter_eliminated", 0) + self.total_eliminated)
+        totals["filter_bits_set"] = (
+            totals.get("filter_bits_set", 0)
+            + sum(f.bits_set for f in self.filters))
+
+    @staticmethod
+    def sized_for(num_sites: int, costs: typing.Any) -> "FilterBank":
+        """A bank using the cost model's packet/overhead arithmetic."""
+        return FilterBank(num_sites, costs.filter_bits_per_site(num_sites))

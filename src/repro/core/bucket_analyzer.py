@@ -1,0 +1,72 @@
+"""The Optimizer Bucket Analyzer (Appendix A).
+
+The mod-indexed split tables can interact badly with certain machine
+configurations: with 2 disk nodes and 4 joining nodes, a 3-bucket
+Hybrid join re-splits every stored bucket onto only 2 of the 4 join
+processors, doubling their load and the chance of memory overflow.
+Gamma's optimizer counteracts this with a small search that increases
+the bucket count until every join node can theoretically receive
+tuples.  :func:`analyze_buckets` is a line-for-line transliteration of
+the C routine printed in Appendix A (credited to M. Muralikrishna);
+the paper's worked example — Hybrid, 3 buckets, 2 disks, 4 join nodes
+→ 4 buckets — is pinned by a unit test.
+"""
+
+from __future__ import annotations
+
+#: Safety bound: the search provably terminates quickly for sane
+#: configurations, but we fail loudly rather than loop on absurd ones.
+_MAX_ITERATIONS = 10_000
+
+
+def analyze_buckets(algorithm: str, num_buckets: int, num_disks: int,
+                    join_nodes: int) -> int:
+    """Return the smallest bucket count >= ``num_buckets`` whose split
+    table lets every join node receive tuples.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"grace"`` or ``"hybrid"`` — they have different split-table
+        entry counts (see Appendix A).
+    num_buckets:
+        The optimizer's initial choice (from the memory arithmetic).
+    num_disks, join_nodes:
+        Machine configuration.
+    """
+    if algorithm not in ("grace", "hybrid"):
+        raise ValueError(
+            f"bucket analysis applies to grace/hybrid, got {algorithm!r}")
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    if num_disks < 1 or join_nodes < 1:
+        raise ValueError(
+            f"invalid configuration: {num_disks} disks, "
+            f"{join_nodes} join nodes")
+
+    for _ in range(_MAX_ITERATIONS):
+        if algorithm == "grace":
+            total_split_entries = num_buckets * num_disks
+        else:
+            total_split_entries = join_nodes + (num_buckets - 1) * num_disks
+
+        # No problem can occur with one bucket and no more disks than
+        # joining nodes (the C code's early exit).
+        if num_buckets == 1 and num_disks <= join_nodes:
+            return num_buckets
+
+        # Find the cycle length of the progression
+        # (total_split_entries * i) mod join_nodes.
+        cycle = total_split_entries
+        for i in range(1, total_split_entries + 1):
+            if (total_split_entries * i) % join_nodes == 0:
+                cycle = i
+                break
+
+        if cycle * num_disks >= join_nodes:
+            return num_buckets
+        num_buckets += 1
+
+    raise RuntimeError(
+        f"bucket analyzer failed to converge for {algorithm} with "
+        f"{num_disks} disks and {join_nodes} join nodes")

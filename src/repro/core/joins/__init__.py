@@ -1,0 +1,93 @@
+"""The four parallel join algorithms and their common driver API.
+
+Use :func:`run_join` for the one-call interface::
+
+    from repro.core.joins import run_join
+    result = run_join("hybrid", machine, outer, inner,
+                      join_attribute="unique1", memory_ratio=0.5,
+                      bit_filters=True)
+
+or instantiate a driver directly for fine-grained control.
+"""
+
+from repro.core.joins.base import (
+    BitFilterPolicy,
+    JoinConfigError,
+    JoinDriver,
+    JoinResult,
+    JoinSpec,
+    PhaseStat,
+)
+from repro.core.joins.grace import GraceHashJoin
+from repro.core.joins.hybrid import HybridHashJoin
+from repro.core.joins.reference import reference_join
+from repro.core.joins.simple_hash import SimpleHashJoin
+from repro.core.joins.sort_merge import SortMergeJoin
+
+#: Algorithm-name → driver-class registry.
+ALGORITHMS: dict[str, type[JoinDriver]] = {
+    "sort-merge": SortMergeJoin,
+    "simple": SimpleHashJoin,
+    "grace": GraceHashJoin,
+    "hybrid": HybridHashJoin,
+}
+
+
+def run_join(algorithm, machine, outer, inner, join_attribute=None,
+             spec=None, **spec_kwargs):
+    """Execute one parallel join and return its :class:`JoinResult`.
+
+    Parameters
+    ----------
+    algorithm:
+        One of ``"sort-merge"``, ``"simple"``, ``"grace"``,
+        ``"hybrid"`` (see :data:`ALGORITHMS`).
+    machine:
+        A fresh :class:`~repro.engine.machine.GammaMachine` — response
+        time is measured from simulated time zero, so reuse of a
+        machine that has already run a query is rejected.
+    outer, inner:
+        The probing (larger) and building (smaller) relations.
+    join_attribute:
+        Attribute name used on both sides (shorthand for setting
+        ``inner_attribute``/``outer_attribute`` in the spec).
+    spec:
+        A fully-built :class:`JoinSpec`; mutually exclusive with the
+        keyword shorthand.
+    **spec_kwargs:
+        Forwarded to :class:`JoinSpec` (``memory_ratio=...``,
+        ``bit_filters=True``, ``configuration="remote"``, ...).
+    """
+    try:
+        driver_class = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown join algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}") from None
+    if spec is not None and (spec_kwargs or join_attribute is not None):
+        raise ValueError("pass either a JoinSpec or keyword arguments, "
+                         "not both")
+    if spec is None:
+        if join_attribute is not None:
+            spec_kwargs.setdefault("inner_attribute", join_attribute)
+            spec_kwargs.setdefault("outer_attribute", join_attribute)
+        spec = JoinSpec(**spec_kwargs)
+    driver = driver_class(machine, outer, inner, spec)
+    return driver.run()
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BitFilterPolicy",
+    "GraceHashJoin",
+    "HybridHashJoin",
+    "JoinConfigError",
+    "JoinDriver",
+    "JoinResult",
+    "JoinSpec",
+    "PhaseStat",
+    "SimpleHashJoin",
+    "SortMergeJoin",
+    "reference_join",
+    "run_join",
+]

@@ -1,0 +1,488 @@
+"""Shared hash-join machinery: one build+probe "round".
+
+§3.2 of the paper notes that the Simple hash-join *is* Gamma's
+overflow-resolution method for the Grace and Hybrid algorithms.  This
+module implements that shared machinery once:
+
+* a :class:`HashJoinRound` is one build+probe cycle over a set of join
+  sites — in-memory hash tables (with the histogram/cutoff overflow
+  mechanism), optional per-round bit filters, R'/S' overflow files on
+  the disks, and the probe/result path;
+* :func:`run_round` executes a round end to end — build phase, cutoff
+  and filter collection/broadcast, probe phase — and then recursively
+  joins the overflow partitions with a **new hash function level**
+  (the hash-function change that turns HPJA joins into non-HPJA joins,
+  §4.1/§4.3), until no overflow remains.
+
+The Simple hash-join is exactly one top-level round over the base
+relations; a Grace/Hybrid bucket join is one round over the bucket's
+fragment files; Hybrid's first bucket reuses the round's consumers
+while feeding them from its combined partitioning split table.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.bit_filter import FilterBank
+from repro.core.hash_table import JoinHashTable, JoinOverflowError
+from repro.core.split_table import SplitTable
+from repro.engine.node import Node
+from repro.engine.operators.routing import Router
+from repro.engine.operators.scan import (
+    chain_file_pages,
+    fragment_pages,
+    scan_pages,
+)
+from repro.engine.operators.writers import tempfile_writer
+from repro.network.messages import DataPacket, EndOfStream
+from repro.storage.files import PagedFile
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.joins.base import JoinDriver
+
+Row = typing.Tuple
+
+
+# --------------------------------------------------------------------------
+# Tuple sources
+# --------------------------------------------------------------------------
+
+class StreamSource:
+    """A producer-side tuple feed at one disk node."""
+
+    #: Optional selection predicate applied at the scan site.
+    predicate: typing.Callable[[Row], bool] | None = None
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    def pages(self, tuples_per_page: int
+              ) -> typing.Iterator[typing.Sequence[Row]]:
+        raise NotImplementedError
+
+    @property
+    def n_tuples(self) -> int:
+        raise NotImplementedError
+
+
+class FragmentSource(StreamSource):
+    """A stored relation fragment (base-relation scan)."""
+
+    def __init__(self, node: Node, rows: typing.Sequence[Row],
+                 predicate: typing.Callable[[Row], bool] | None = None
+                 ) -> None:
+        super().__init__(node)
+        self.rows = rows
+        self.predicate = predicate
+
+    def pages(self, tuples_per_page: int
+              ) -> typing.Iterator[typing.Sequence[Row]]:
+        return fragment_pages(self.rows, tuples_per_page)
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.rows)
+
+
+class FilesSource(StreamSource):
+    """One or more temp files read back to back (bucket fragments,
+    overflow partitions)."""
+
+    def __init__(self, node: Node,
+                 files: typing.Sequence[PagedFile]) -> None:
+        super().__init__(node)
+        self.files = list(files)
+
+    def pages(self, tuples_per_page: int
+              ) -> typing.Iterator[typing.Sequence[Row]]:
+        return chain_file_pages(self.files)
+
+    @property
+    def n_tuples(self) -> int:
+        return sum(f.num_tuples for f in self.files)
+
+
+def relation_sources(driver: "JoinDriver", which: str) -> list[FragmentSource]:
+    """Scan sources for the driver's inner or outer base relation
+    (with the relation's selection predicate attached, if any)."""
+    if which == "inner":
+        relation, predicate = driver.inner, driver.spec.inner_predicate
+    else:
+        relation, predicate = driver.outer, driver.spec.outer_predicate
+    return [FragmentSource(node, fragment, predicate)
+            for node, fragment in zip(driver.disk_nodes, relation.fragments)]
+
+
+# --------------------------------------------------------------------------
+# One build+probe round
+# --------------------------------------------------------------------------
+
+class HashJoinRound:
+    """Per-round state for one set of join-site hash tables."""
+
+    def __init__(self, driver: "JoinDriver", level: int,
+                 label: str) -> None:
+        self.driver = driver
+        self.machine = driver.machine
+        self.costs = driver.costs
+        self.level = level
+        self.label = label
+        self.sites = driver.join_sites
+        capacity = driver.hash_table_capacity()
+        self.tables = [JoinHashTable(capacity) for _ in self.sites]
+        self.bank: FilterBank | None = (
+            FilterBank.sized_for(len(self.sites), self.costs)
+            if driver.filter_policy.active else None)
+        self.joining_table = SplitTable.joining(self.sites)
+        # Overflow files: R'_j / S'_j for join site j live on the
+        # disk node the driver's allocator assigns (§3.2; own drive
+        # for local sites, unaligned round-robin for diskless ones).
+        inner_bytes = driver.inner.schema.tuple_bytes
+        outer_bytes = driver.outer.schema.tuple_bytes
+        page = self.costs.page_size
+        self.host_of = [driver.overflow_host(j)
+                        for j in range(len(self.sites))]
+        self.rprime = [PagedFile(f"{label}.Rp{j}", inner_bytes, page)
+                       for j in range(len(self.sites))]
+        self.sprime = [PagedFile(f"{label}.Sp{j}", outer_bytes, page)
+                       for j in range(len(self.sites))]
+
+    # -- site arithmetic ----------------------------------------------------
+
+    def site_of(self, hash_code: int) -> int:
+        return self.joining_table.index_for(hash_code)
+
+    def hash_inner(self, row: Row) -> int:
+        return self.driver.hash_value(row[self.driver.inner_key],
+                                      self.level)
+
+    def hash_outer(self, row: Row) -> int:
+        return self.driver.hash_value(row[self.driver.outer_key],
+                                      self.level)
+
+    def cutoffs(self) -> list[int | None]:
+        return [table.cutoff for table in self.tables]
+
+    # -- build side ----------------------------------------------------------
+
+    def build_route(self, router: Router) -> typing.Callable[[Row], float]:
+        """Standard building-relation route: hash, mod-J, transmit."""
+        costs = self.costs
+        per_tuple = costs.tuple_hash + costs.tuple_move
+        sites = self.sites
+
+        def route(row: Row) -> float:
+            h = self.hash_inner(row)
+            router.give(sites[self.site_of(h)].node_id, row, h)
+            return per_tuple
+
+        return route
+
+    def build_consumer(self, site: int, port: str, n_producers: int
+                       ) -> typing.Generator:
+        """The building operator at join site ``site``.
+
+        Inserts arriving R tuples into the site's hash table, applies
+        the histogram/cutoff overflow mechanism, routes evicted and
+        rejected tuples to the site's R' overflow file, and sets bit
+        filters over *every* received tuple (overflowed tuples must
+        set bits too — their partners are spooled, not dropped).
+        """
+        driver = self.driver
+        machine = self.machine
+        costs = self.costs
+        node = self.sites[site]
+        table = self.tables[site]
+        host = self.host_of[site]
+        ov_router = Router(machine, node, [host], port + ".Rp",
+                           driver.inner.schema.tuple_bytes)
+        mailbox = machine.registry.mailbox(node.node_id, port)
+        eos_remaining = n_producers
+        while eos_remaining > 0:
+            message = yield mailbox.get()
+            yield from machine.network.receive_charge(node.node_id, message)
+            if isinstance(message, EndOfStream):
+                eos_remaining -= 1
+                continue
+            assert isinstance(message, DataPacket), message
+            cpu = 0.0
+            for row, h in zip(message.rows, message.hashes):
+                cpu += costs.tuple_receive + costs.histogram_update
+                if self.bank is not None:
+                    cpu += costs.filter_set
+                    self.bank.set(site, h)
+                if table.admits(h):
+                    if table.is_full:
+                        evicted, scanned = table.make_room()
+                        cpu += scanned * costs.overflow_scan_tuple
+                        for erow, ehash in evicted:
+                            cpu += costs.tuple_move
+                            ov_router.give(host.node_id, erow, ehash,
+                                           bucket=site)
+                    if table.admits(h):
+                        cpu += costs.tuple_build
+                        table.insert(row, h)
+                    else:
+                        cpu += costs.tuple_move
+                        ov_router.give(host.node_id, row, h, bucket=site)
+                else:
+                    cpu += costs.tuple_move
+                    ov_router.give(host.node_id, row, h, bucket=site)
+            yield from node.cpu_use(cpu)
+            yield from ov_router.flush_ready()
+        yield from ov_router.close()
+
+    def overflow_writers(self, port: str, which: str,
+                         n_producers_fn: typing.Callable[[Node], int]
+                         ) -> list[tuple[Node, typing.Generator]]:
+        """Writer consumers for the R' or S' overflow files.
+
+        One writer per distinct host disk node; packets carry the join
+        site index in their ``bucket`` field to select the file.
+        """
+        files = self.rprime if which == "R" else self.sprime
+        by_host: dict[int, list[int]] = {}
+        for site, host in enumerate(self.host_of):
+            by_host.setdefault(host.node_id, []).append(site)
+        writers: list[tuple[Node, typing.Generator]] = []
+        for host_id, site_list in sorted(by_host.items()):
+            node = self.machine.nodes[host_id]
+            site_files = {site: files[site] for site in site_list}
+
+            def select_file(bucket: int | None,
+                            site_files: dict[int, PagedFile] = site_files
+                            ) -> PagedFile:
+                if bucket is None or bucket not in site_files:
+                    raise RuntimeError(
+                        f"overflow packet addressed to unknown site "
+                        f"{bucket!r}")
+                return site_files[bucket]
+
+            writers.append((node, tempfile_writer(
+                self.machine, node, port, n_producers_fn(node),
+                select_file=select_file,
+                close_files=list(site_files.values()))))
+        return writers
+
+    def builders_hosted_at(self, node: Node) -> int:
+        return sum(1 for host in self.host_of if host is node)
+
+    # -- probe side -----------------------------------------------------------
+
+    def probe_route(self, probe_router: Router, spool_router: Router,
+                    ) -> typing.Callable[[Row], float]:
+        """Outer-relation route: filter test, cutoff check, transmit.
+
+        Tuples whose destination site overflowed and whose hash is at
+        or above the site's cutoff are spooled *directly* to the S'
+        file (§3.2 step 3); the rest go to the site for probing.
+        Filter-eliminated tuples go nowhere.
+        """
+        costs = self.costs
+        sites = self.sites
+        cutoffs = self.cutoffs()
+        bank = self.bank
+        driver = self.driver
+
+        def route(row: Row) -> float:
+            h = self.hash_outer(row)
+            cpu = costs.tuple_hash
+            site = self.site_of(h)
+            if bank is not None:
+                cpu += costs.filter_test
+                if not bank.test(site, h):
+                    return cpu
+            cutoff = cutoffs[site]
+            if cutoff is not None and h >= cutoff:
+                cpu += costs.tuple_move
+                spool_router.give(self.host_of[site].node_id, row, h,
+                                  bucket=site)
+                driver.bump("outer_tuples_spooled")
+            else:
+                cpu += costs.tuple_move
+                probe_router.give(sites[site].node_id, row, h)
+            return cpu
+
+        return route
+
+    def probe_consumer(self, site: int, port: str, n_producers: int,
+                       store_router: Router) -> typing.Generator:
+        """The probing operator at join site ``site``."""
+        machine = self.machine
+        costs = self.costs
+        node = self.sites[site]
+        table = self.tables[site]
+        inner_key = self.driver.inner_key
+        outer_key = self.driver.outer_key
+        mailbox = machine.registry.mailbox(node.node_id, port)
+        eos_remaining = n_producers
+        while eos_remaining > 0:
+            message = yield mailbox.get()
+            yield from machine.network.receive_charge(node.node_id, message)
+            if isinstance(message, EndOfStream):
+                eos_remaining -= 1
+                continue
+            assert isinstance(message, DataPacket), message
+            cpu = 0.0
+            for row, h in zip(message.rows, message.hashes):
+                cpu += costs.tuple_receive
+                matches, chain = table.probe(h, row[outer_key], inner_key)
+                cpu += (costs.tuple_probe
+                        + max(0, chain - 1) * costs.tuple_chain_link)
+                for match in matches:
+                    cpu += costs.tuple_result + costs.tuple_move
+                    store_router.give_round_robin(match + row)
+            yield from node.cpu_use(cpu)
+            yield from store_router.flush_ready()
+        yield from store_router.close()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def finish(self) -> None:
+        """Fold the round's statistics into the driver."""
+        self.driver.note_table_stats(self.tables)
+        if self.bank is not None:
+            self.bank.merge_counters_into(self.driver.counters)
+
+    def overflow_pairs(self) -> list[int]:
+        """Sites whose overflow partitions must be joined recursively.
+
+        A site needs recursion only when both R' and S' are non-empty;
+        matching tuples always land on the same side of the cutoff, so
+        an unpaired partition cannot produce results.
+        """
+        return [site for site in range(len(self.sites))
+                if self.rprime[site].num_tuples
+                and self.sprime[site].num_tuples]
+
+    def state_payload_bytes(self) -> int:
+        """Per-site bytes of cutoff/filter state collected after the
+        build phase (a cutoff word, plus this site's filter slice)."""
+        per_site = 32
+        if self.bank is not None:
+            per_site += self.costs.filter_bytes // len(self.sites)
+        return per_site
+
+
+# --------------------------------------------------------------------------
+# Full round execution (build + probe + overflow recursion)
+# --------------------------------------------------------------------------
+
+def run_round(driver: "JoinDriver",
+              r_sources: typing.Sequence[StreamSource],
+              s_sources: typing.Sequence[StreamSource],
+              level: int, depth: int, label: str,
+              read_from_disk: bool = True) -> typing.Generator:
+    """Execute one complete hash-join round and resolve its overflow.
+
+    This is the parallel Simple hash-join of §3.2: build the inner
+    side into the site hash tables, collect cutoffs (and bit filters),
+    probe with the outer side, then recursively join the R'/S'
+    overflow partitions with hash level + 1 until none remain.
+    """
+    if depth > driver.spec.max_overflow_depth:
+        raise JoinOverflowError(
+            f"{driver.algorithm}: overflow recursion exceeded "
+            f"{driver.spec.max_overflow_depth} levels at {label!r}; the "
+            "inner relation's duplicates exceed all join memory")
+    machine = driver.machine
+    costs = driver.costs
+    round_ = HashJoinRound(driver, level, label)
+    sites = round_.sites
+    inner_tpp = costs.tuples_per_page(driver.inner.schema.tuple_bytes)
+    outer_tpp = costs.tuples_per_page(driver.outer.schema.tuple_bytes)
+
+    # ---- build phase ------------------------------------------------------
+    stat = driver.phase(f"{label}.build")
+    build_port = machine.fresh_port(f"{label}.build")
+    ovr_port = build_port + ".Rp"
+    producers = []
+    for source in r_sources:
+        router = Router(machine, source.node, sites, build_port,
+                        driver.inner.schema.tuple_bytes)
+        producers.append((source.node, scan_pages(
+            machine, source.node, source.pages(inner_tpp), [router],
+            round_.build_route(router), read_from_disk=read_from_disk,
+            predicate=source.predicate)))
+    consumers = [(sites[j], round_.build_consumer(j, build_port,
+                                                  len(r_sources)))
+                 for j in range(len(sites))]
+    consumers.extend(round_.overflow_writers(
+        ovr_port, "R", n_producers_fn=round_.builders_hosted_at))
+    yield from driver.scheduler.execute_phase(
+        f"{label}.build", producers, consumers,
+        split_table_bytes=round_.joining_table.table_bytes)
+    driver.end_phase(stat)
+
+    # ---- cutoff / filter collection -----------------------------------------
+    yield from driver.collect_site_state(
+        round_.state_payload_bytes(),
+        broadcast_nodes=[source.node for source in s_sources],
+        broadcast_bytes=(costs.filter_bytes if round_.bank is not None
+                         else 64))
+
+    # ---- probe phase -----------------------------------------------------
+    stat = driver.phase(f"{label}.probe")
+    probe_port = machine.fresh_port(f"{label}.probe")
+    ovs_port = probe_port + ".Sp"
+    store_consumers, store_port = driver.store_writers(
+        n_producers=len(sites))
+    spool_hosts = sorted({node.node_id for node in round_.host_of})
+    producers = []
+    for source in s_sources:
+        probe_router = Router(machine, source.node, sites, probe_port,
+                              driver.outer.schema.tuple_bytes)
+        spool_router = Router(
+            machine, source.node,
+            [machine.nodes[h] for h in spool_hosts], ovs_port,
+            driver.outer.schema.tuple_bytes)
+        producers.append((source.node, scan_pages(
+            machine, source.node, source.pages(outer_tpp),
+            [probe_router, spool_router],
+            round_.probe_route(probe_router, spool_router),
+            read_from_disk=read_from_disk,
+            predicate=source.predicate)))
+    consumers = []
+    for j, site in enumerate(sites):
+        store_router = Router(machine, site, driver.disk_nodes,
+                              store_port, driver.result_tuple_bytes)
+        consumers.append((site, round_.probe_consumer(
+            j, probe_port, len(s_sources), store_router)))
+    consumers.extend(round_.overflow_writers(
+        ovs_port, "S", n_producers_fn=lambda node: len(s_sources)))
+    consumers.extend(store_consumers)
+    yield from driver.scheduler.execute_phase(
+        f"{label}.probe", producers, consumers,
+        split_table_bytes=round_.joining_table.table_bytes)
+    driver.end_phase(stat)
+
+    round_.finish()
+    yield from resolve_overflow(driver, round_, depth, label)
+
+
+def resolve_overflow(driver: "JoinDriver", round_: HashJoinRound,
+                     depth: int, label: str) -> typing.Generator:
+    """Recursively join a finished round's R'/S' overflow partitions.
+
+    The aggregate overflow is treated as a new pair of (horizontally
+    partitioned) relations and re-joined with hash level + 1 — §3.2's
+    recursion, including the hash-function change of §4.1.
+    """
+    pairs = round_.overflow_pairs()
+    if not pairs:
+        return
+    machine = driver.machine
+    driver.overflow_levels = max(driver.overflow_levels, depth + 1)
+    r_by_node: dict[int, list[PagedFile]] = {}
+    s_by_node: dict[int, list[PagedFile]] = {}
+    for site in pairs:
+        host = round_.host_of[site]
+        r_by_node.setdefault(host.node_id, []).append(round_.rprime[site])
+        s_by_node.setdefault(host.node_id, []).append(round_.sprime[site])
+    next_r = [FilesSource(machine.nodes[n], files)
+              for n, files in sorted(r_by_node.items())]
+    next_s = [FilesSource(machine.nodes[n], files)
+              for n, files in sorted(s_by_node.items())]
+    yield from run_round(driver, next_r, next_s, round_.level + 1,
+                         depth + 1, f"{label}.ov{depth + 1}")

@@ -1,0 +1,35 @@
+"""The parallel Simple hash-join (§3.2).
+
+The smaller relation R is split across the join sites and staged into
+in-memory hash tables; S is split the same way and probes.  Hash-table
+overflow is handled by the histogram/cutoff mechanism — overflowing
+tuples stream to per-site R' files, matching S tuples are spooled
+directly to S' files, and the overflow partitions are joined
+recursively with a fresh hash function until none remain.
+
+The whole algorithm is exactly one top-level
+:func:`~repro.core.joins.common.run_round` over the base relations:
+Simple hash *is* the overflow machinery (until recently it was the
+only join algorithm Gamma employed, and it remains the overflow
+resolver inside Grace and Hybrid).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.joins.base import JoinDriver
+from repro.core.joins.common import relation_sources, run_round
+
+
+class SimpleHashJoin(JoinDriver):
+    """Looping-with-hashing: build, probe, recurse on overflow."""
+
+    algorithm = "simple"
+
+    def _execute(self) -> typing.Generator:
+        yield from run_round(
+            self,
+            r_sources=relation_sources(self, "inner"),
+            s_sources=relation_sources(self, "outer"),
+            level=0, depth=0, label="simple")

@@ -1,0 +1,317 @@
+"""The parallel sort-merge join (§3.1).
+
+The Teradata-style adaptation of the classic algorithm:
+
+1. R is partitioned through a hash split table (one entry per disk
+   node) into per-site temporary files;
+2. each site sorts its R file in parallel (external merge sort within
+   the experiment's memory budget — the source of the response-curve
+   steps);
+3. S is partitioned and sorted the same way (serially, after R, both
+   to avoid disk-head/network contention and because the bit filters
+   built from R must be complete before S can be screened);
+4. a local merge join at every disk site computes the result — tuples
+   were co-partitioned by the same hash function, so only local
+   fragments can join.
+
+Join sites are always the disk sites: the paper's implementation
+cannot use diskless processors (backing up the inner scan over
+duplicates is impractical remotely), so the ``remote`` configuration
+is rejected.
+
+With bit filters enabled, a filter is built at each disk site as the
+inner relation arrives (step 1) and tested at the producing sites
+while S is partitioned — eliminated S tuples are never transmitted,
+stored, or sorted, which is why sort-merge gains the most from
+filtering (Table 4).  The §4.4 early-termination effect is also
+modelled: the merge stops reading a sorted input once the other side
+is exhausted and can no longer match, which is how the skewed-inner
+(NU) joins come out *faster* than uniform ones.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.core.bit_filter import FilterBank
+from repro.core.joins.base import JoinConfigError, JoinDriver
+from repro.engine.node import Node
+from repro.engine.operators.routing import Router
+from repro.engine.operators.scan import fragment_pages, scan_pages
+from repro.engine.operators.writers import tempfile_writer
+from repro.storage.files import PagedFile
+from repro.storage.sort import plan_external_sort, sort_rows
+
+Row = typing.Tuple
+
+
+class SortMergeJoin(JoinDriver):
+    """Redistribute, sort in parallel, merge locally."""
+
+    algorithm = "sort-merge"
+
+    def __init__(self, machine, outer, inner, spec) -> None:
+        super().__init__(machine, outer, inner, spec)
+        if self.spec.configuration != "local":
+            raise JoinConfigError(
+                "the sort-merge implementation cannot utilise diskless "
+                "processors (§3.1); use configuration='local'")
+
+    # ------------------------------------------------------------------
+
+    def _execute(self) -> typing.Generator:
+        num_sites = len(self.disk_nodes)
+        bank: FilterBank | None = (
+            FilterBank.sized_for(num_sites, self.costs)
+            if self.filter_policy.active else None)
+
+        r_files = yield from self._partition(
+            "R", self.inner, self.inner_key, build_bank=bank,
+            test_bank=None)
+        if bank is not None:
+            yield from self.collect_site_state(
+                self.costs.filter_bytes // num_sites + 32,
+                broadcast_nodes=self.disk_nodes,
+                broadcast_bytes=self.costs.filter_bytes)
+        sorted_r = yield from self._sort_all("R", r_files, self.inner_key)
+
+        s_files = yield from self._partition(
+            "S", self.outer, self.outer_key, build_bank=None,
+            test_bank=bank)
+        sorted_s = yield from self._sort_all("S", s_files, self.outer_key)
+
+        yield from self._merge_join(sorted_r, sorted_s)
+        if bank is not None:
+            bank.merge_counters_into(self.counters)
+
+    # ------------------------------------------------------------------
+    # Phase 1/3: redistribution by hash
+    # ------------------------------------------------------------------
+
+    def _partition(self, which: str, relation, key_index: int,
+                   build_bank: FilterBank | None,
+                   test_bank: FilterBank | None) -> typing.Generator:
+        """Redistribute a relation across the disk sites by join hash.
+
+        ``build_bank`` makes the receiving writers set filter bits
+        (inner relation); ``test_bank`` makes the producing scanners
+        screen tuples before transmission (outer relation).
+        """
+        stat = self.phase(f"sort-merge.part{which}")
+        machine = self.machine
+        costs = self.costs
+        port = machine.fresh_port(f"sm.part{which}")
+        tuple_bytes = relation.schema.tuple_bytes
+        files = [PagedFile(f"sm.{which}.d{d}", tuple_bytes,
+                           costs.page_size)
+                 for d in range(len(self.disk_nodes))]
+
+        predicate = (self.spec.inner_predicate if which == "R"
+                     else self.spec.outer_predicate)
+        producers: list[tuple[Node, typing.Generator]] = []
+        for d, node in enumerate(self.disk_nodes):
+            router = Router(machine, node, self.disk_nodes, port,
+                            tuple_bytes)
+            route = self._partition_route(router, key_index, test_bank)
+            producers.append((node, scan_pages(
+                machine, node,
+                fragment_pages(relation.fragments[d],
+                               costs.tuples_per_page(tuple_bytes)),
+                [router], route, predicate=predicate)))
+        consumers: list[tuple[Node, typing.Generator]] = []
+        for d, node in enumerate(self.disk_nodes):
+            hook = None
+            if build_bank is not None:
+                def hook(row: Row, hash_code: int, _site: int = d,
+                         _bank: FilterBank = build_bank) -> float:
+                    _bank.set(_site, hash_code)
+                    return costs.filter_set
+            consumers.append((node, tempfile_writer(
+                machine, node, port, len(self.disk_nodes),
+                select_file=lambda bucket, file=files[d]: file,
+                stats=self.bucket_forming_writes,
+                close_files=[files[d]],
+                per_tuple_hook=hook)))
+        yield from self.scheduler.execute_phase(
+            f"sm.part{which}", producers, consumers,
+            split_table_bytes=len(self.disk_nodes) * 40)
+        self.end_phase(stat)
+        return files
+
+    def _partition_route(self, router: Router, key_index: int,
+                         test_bank: FilterBank | None
+                         ) -> typing.Callable[[Row], float]:
+        costs = self.costs
+        num_sites = len(self.disk_nodes)
+        nodes = self.disk_nodes
+
+        def route(row: Row) -> float:
+            h = self.hash_value(row[key_index], 0)
+            cpu = costs.tuple_hash
+            site = h % num_sites
+            if test_bank is not None:
+                cpu += costs.filter_test
+                if not test_bank.test(site, h):
+                    return cpu
+            cpu += costs.tuple_move
+            router.give(nodes[site].node_id, row, h)
+            return cpu
+
+        return route
+
+    # ------------------------------------------------------------------
+    # Phase 2/4: parallel local external sorts
+    # ------------------------------------------------------------------
+
+    def _sort_all(self, which: str, files: list[PagedFile],
+                  key_index: int) -> typing.Generator:
+        """Sort every site's file in parallel; returns sorted row lists."""
+        stat = self.phase(f"sort-merge.sort{which}")
+        memory_per_node = self.aggregate_memory // len(self.disk_nodes)
+        sorted_rows: list[list[Row] | None] = [None] * len(self.disk_nodes)
+        pass_counts: list[int] = []
+        yield from self.scheduler.start_operators(self.disk_nodes)
+        processes = []
+        for d, node in enumerate(self.disk_nodes):
+            processes.append(self.machine.sim.process(
+                self._sort_node(d, node, files[d], key_index,
+                                memory_per_node, sorted_rows,
+                                pass_counts),
+                name=f"sort.{which}.{node.name}"))
+        yield self.machine.sim.all_of(processes)
+        yield from self.scheduler.collect_done(self.disk_nodes)
+        self.end_phase(stat)
+        self.bump(f"sort_{which}_passes", max(pass_counts, default=0))
+        return [rows if rows is not None else []
+                for rows in sorted_rows]
+
+    def _sort_node(self, index: int, node: Node, file: PagedFile,
+                   key_index: int, memory_bytes: int,
+                   out: list, pass_counts: list[int]) -> typing.Generator:
+        """External merge sort of one site's file (WiSS sort utility)."""
+        costs = self.costs
+        plan = plan_external_sort(file.num_tuples, file.tuple_bytes,
+                                  memory_bytes, costs)
+        pass_counts.append(plan.merge_passes)
+        disk = node.require_disk()
+        if plan.input_pages == 0:
+            out[index] = []
+            return
+        # Run formation: read a memory-load, sort it, write the run.
+        run_cpu_total = plan.cpu_seconds(costs)
+        merge_cpu = 0.0
+        if plan.merge_passes:
+            per_pass = plan.n_tuples * (
+                costs.sort_tuple_overhead
+                + costs.sort_compare
+                * max(1, math.ceil(math.log2(plan.fan_in))))
+            merge_cpu = per_pass
+            run_cpu_total -= per_pass * plan.merge_passes
+        pages_left = plan.input_pages
+        cpu_per_page = run_cpu_total / plan.input_pages
+        while pages_left > 0:
+            chunk = min(plan.memory_pages, pages_left)
+            yield from disk.read_pages(chunk, sequential=True)
+            yield from node.cpu_use(cpu_per_page * chunk)
+            yield from disk.write_pages(chunk, sequential=True)
+            pages_left -= chunk
+        # Merge passes: read + CPU + write, one full pass at a time.
+        for _pass in range(plan.merge_passes):
+            yield from disk.read_pages(plan.input_pages, sequential=True)
+            yield from node.cpu_use(merge_cpu)
+            yield from disk.write_pages(plan.input_pages, sequential=True)
+        out[index] = sort_rows(file.rows, key_index)
+
+    # ------------------------------------------------------------------
+    # Phase 5: parallel local merge join
+    # ------------------------------------------------------------------
+
+    def _merge_join(self, sorted_r: list[list[Row]],
+                    sorted_s: list[list[Row]]) -> typing.Generator:
+        stat = self.phase("sort-merge.merge")
+        machine = self.machine
+        store_consumers, store_port = self.store_writers(
+            n_producers=len(self.disk_nodes))
+        producers: list[tuple[Node, typing.Generator]] = []
+        for d, node in enumerate(self.disk_nodes):
+            store_router = Router(machine, node, self.disk_nodes,
+                                  store_port, self.result_tuple_bytes)
+            producers.append((node, self._merge_node(
+                node, sorted_r[d], sorted_s[d], store_router)))
+        yield from self.scheduler.execute_phase(
+            "sm.merge", producers, store_consumers,
+            split_table_bytes=len(self.disk_nodes) * 40)
+        self.end_phase(stat)
+
+    def _merge_node(self, node: Node, r_rows: list[Row],
+                    s_rows: list[Row], store_router: Router
+                    ) -> typing.Generator:
+        """Merge-join one site's sorted fragments.
+
+        Reads both sorted files page by page (charging sequential
+        I/O), backs up over duplicate outer values, and stops early
+        once the exhausted side's maximum can no longer match — the
+        §4.4 skipped-read effect.
+        """
+        costs = self.costs
+        disk = node.require_disk()
+        r_key = self.inner_key
+        s_key = self.outer_key
+        r_tpp = costs.tuples_per_page(self.inner.schema.tuple_bytes)
+        s_tpp = costs.tuples_per_page(self.outer.schema.tuple_bytes)
+        r_max = r_rows[-1][r_key] if r_rows else None
+        r_index = 0
+        r_pages_read = 0
+        s_consumed = 0
+        stopped_early = False
+
+        for s_start in range(0, len(s_rows), s_tpp):
+            if stopped_early:
+                break
+            s_page = s_rows[s_start:s_start + s_tpp]
+            yield from disk.read_pages(1, sequential=True)
+            cpu = 0.0
+            for s_row in s_page:
+                s_consumed += 1
+                value = s_row[s_key]
+                if r_max is None or value > r_max:
+                    # Inner exhausted below this value: nothing in the
+                    # remainder of S can join — stop reading (§4.4).
+                    stopped_early = True
+                    cpu += costs.sort_compare
+                    break
+                cpu += costs.tuple_scan
+                while (r_index < len(r_rows)
+                       and r_rows[r_index][r_key] < value):
+                    r_index += 1
+                    cpu += costs.sort_compare + costs.sort_tuple_overhead
+                # Charge inner page reads as the cursor crosses pages.
+                needed_pages = -(-max(r_index, 1) // r_tpp)
+                if needed_pages > r_pages_read:
+                    yield from node.cpu_use(cpu)
+                    cpu = 0.0
+                    yield from disk.read_pages(
+                        needed_pages - r_pages_read, sequential=True)
+                    r_pages_read = needed_pages
+                # Backup over duplicates: scan the run of equal keys.
+                probe = r_index
+                while (probe < len(r_rows)
+                       and r_rows[probe][r_key] == value):
+                    cpu += (costs.sort_compare + costs.tuple_result
+                            + costs.tuple_move)
+                    store_router.give_round_robin(r_rows[probe] + s_row)
+                    probe += 1
+                cpu += costs.sort_compare
+            yield from node.cpu_use(cpu)
+            yield from store_router.flush_ready()
+
+        if stopped_early:
+            skipped = len(s_rows) - s_consumed
+            self.bump("merge_outer_tuples_skipped", skipped)
+        # Pages of the inner never reached (outer exhausted early).
+        total_r_pages = -(-len(r_rows) // r_tpp) if r_rows else 0
+        if total_r_pages > r_pages_read:
+            self.bump("merge_inner_pages_skipped",
+                      total_r_pages - r_pages_read)
+        yield from store_router.close()

@@ -1,0 +1,101 @@
+"""Bucket-count planning for the Grace and Hybrid algorithms.
+
+The optimizer picks the number of buckets from the memory arithmetic
+of §3.3/§3.4 — "the number of buckets is determined by the query
+optimizer in order to ensure that the size of each bucket is just less
+than the aggregate amount of main-memory of the joining processors" —
+then runs the Appendix A bucket analyzer to avoid degenerate tuple
+distributions.
+
+Figure 7 of the paper studies the policy choice at memory ratios that
+do *not* correspond to an integral bucket count: the **pessimistic**
+planner rounds the bucket count up (never overflowing, but staging
+more data to disk than strictly necessary), while the **optimistic**
+planner rounds down and relies on the Simple hash-join overflow
+mechanism to absorb the excess.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+
+from repro.core.bucket_analyzer import analyze_buckets
+from repro.core.split_table import SPLIT_ENTRY_BYTES
+
+
+class BucketPolicy(enum.Enum):
+    """How to round a fractional bucket requirement (Figure 7)."""
+
+    #: Round up: one extra bucket, no overflow.
+    PESSIMISTIC = "pessimistic"
+    #: Round down: fewer buckets, let the overflow mechanism cope.
+    OPTIMISTIC = "optimistic"
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketPlan:
+    """The planner's decision and its provenance."""
+
+    num_buckets: int
+    #: The raw memory requirement R_bytes / aggregate_memory.
+    raw_requirement: float
+    #: Bucket count before the Appendix A analyzer (it only ever
+    #: increases the count).
+    before_analyzer: int
+    policy: BucketPolicy
+
+    @property
+    def analyzer_adjusted(self) -> bool:
+        return self.num_buckets != self.before_analyzer
+
+    def split_table_entries(self, algorithm: str, num_disks: int,
+                            num_join_nodes: int) -> int:
+        if algorithm == "grace":
+            return self.num_buckets * num_disks
+        return num_join_nodes + (self.num_buckets - 1) * num_disks
+
+    def split_table_bytes(self, algorithm: str, num_disks: int,
+                          num_join_nodes: int) -> int:
+        return SPLIT_ENTRY_BYTES * self.split_table_entries(
+            algorithm, num_disks, num_join_nodes)
+
+
+def plan_buckets(algorithm: str, inner_bytes: int,
+                 aggregate_memory_bytes: int, num_disks: int,
+                 num_join_nodes: int,
+                 policy: BucketPolicy = BucketPolicy.PESSIMISTIC,
+                 override: int | None = None) -> BucketPlan:
+    """Choose the bucket count for a Grace or Hybrid join.
+
+    ``override`` pins the count (used by experiments that sweep bucket
+    counts directly); the analyzer still runs on the override so a
+    pinned pathological count is corrected the same way Gamma would.
+    """
+    if algorithm not in ("grace", "hybrid"):
+        raise ValueError(
+            f"bucket planning applies to grace/hybrid, got {algorithm!r}")
+    if aggregate_memory_bytes <= 0:
+        raise ValueError(
+            f"aggregate memory must be positive, got "
+            f"{aggregate_memory_bytes}")
+    raw = inner_bytes / aggregate_memory_bytes
+    if override is not None:
+        if override < 1:
+            raise ValueError(f"bucket override must be >= 1: {override}")
+        before = override
+    elif policy is BucketPolicy.PESSIMISTIC:
+        # The relative epsilon forgives the byte-rounding of the
+        # memory budget: a ratio of exactly 1/3 must plan 3 buckets
+        # even though round(|R|/3) bytes is a hair under a third.
+        # Half a byte of rounding on a small memory budget shifts the
+        # requirement by up to raw/(2*memory); 1e-4 comfortably
+        # covers every relation larger than a few pages while being
+        # far below any genuine extra-bucket need.
+        before = max(1, math.ceil(raw * (1 - 1e-4)))
+    else:
+        before = max(1, math.floor(raw * (1 + 1e-4)))
+    final = analyze_buckets(algorithm, before, num_disks, num_join_nodes)
+    return BucketPlan(num_buckets=final, raw_requirement=raw,
+                      before_analyzer=before, policy=policy)

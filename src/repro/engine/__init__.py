@@ -1,0 +1,16 @@
+"""The simulated Gamma machine and its query-operator processes.
+
+:class:`~repro.engine.machine.GammaMachine` assembles the hardware of
+§2.1 — processors with and without disks, the token ring, and a
+dedicated scheduling node — plus the addressing fabric.  The
+:mod:`~repro.engine.operators` subpackage provides the operator
+processes (scan producers, split-table routers, temp-file writers,
+result-store writers) that the join algorithms in
+:mod:`repro.core.joins` compose into query plans.
+"""
+
+from repro.engine.machine import GammaMachine, MachineConfig
+from repro.engine.node import Node
+from repro.engine.scheduler import Scheduler
+
+__all__ = ["GammaMachine", "MachineConfig", "Node", "Scheduler"]

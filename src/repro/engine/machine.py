@@ -1,0 +1,146 @@
+"""The assembled Gamma machine.
+
+The paper's default hardware environment (§4) is eight processors with
+disks plus one diskless processor reserved for query scheduling — the
+"local" configuration, where joins execute on the disk nodes.  §4.3
+adds eight more diskless processors that perform the join computation —
+the "remote" configuration.  :class:`GammaMachine` builds either (or
+any custom mix) over a fresh simulator.
+
+Node numbering: disk nodes are ``0 .. D-1``, diskless join nodes are
+``D .. D+E-1``, and the scheduler node is always the last id.  Relation
+fragment ``i`` lives on disk node ``i``.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.costs import DEFAULT_COSTS, CostModel
+from repro.engine.node import Node
+from repro.network import NetworkService, PortRegistry, TokenRing
+from repro.sim import Simulator
+
+
+class MachineConfig(enum.Enum):
+    """Where join operators execute (§4's two configurations)."""
+
+    #: Joins on the processors with attached disks.
+    LOCAL = "local"
+    #: Joins on the diskless processors.
+    REMOTE = "remote"
+
+
+class GammaMachine:
+    """A shared-nothing multiprocessor with a token ring."""
+
+    def __init__(self, num_disk_nodes: int = 8,
+                 num_diskless_join_nodes: int = 0,
+                 costs: CostModel = DEFAULT_COSTS) -> None:
+        if num_disk_nodes < 1:
+            raise ValueError(
+                f"need at least one disk node, got {num_disk_nodes}")
+        if num_diskless_join_nodes < 0:
+            raise ValueError(
+                f"negative diskless node count: {num_diskless_join_nodes}")
+        self.costs = costs
+        self.sim = Simulator()
+        self.ring = TokenRing(self.sim, costs)
+        self.registry = PortRegistry(self.sim)
+        self.network = NetworkService(self.sim, costs, self.ring,
+                                      self.registry)
+
+        self.disk_nodes: list[Node] = [
+            Node(self.sim, i, costs, with_disk=True, name=f"disk{i}")
+            for i in range(num_disk_nodes)]
+        self.diskless_nodes: list[Node] = [
+            Node(self.sim, num_disk_nodes + i, costs, with_disk=False,
+                 name=f"cpu{num_disk_nodes + i}")
+            for i in range(num_diskless_join_nodes)]
+        scheduler_id = num_disk_nodes + num_diskless_join_nodes
+        self.scheduler_node = Node(self.sim, scheduler_id, costs,
+                                   with_disk=False, name="scheduler")
+        self.nodes: list[Node] = (
+            self.disk_nodes + self.diskless_nodes + [self.scheduler_node])
+        self.network.attach_cpus([n.cpu for n in self.nodes])
+        self._port_counter = 0
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def local(cls, num_disk_nodes: int = 8,
+              costs: CostModel = DEFAULT_COSTS) -> "GammaMachine":
+        """The paper's default: disk nodes + scheduler, joins local."""
+        return cls(num_disk_nodes=num_disk_nodes,
+                   num_diskless_join_nodes=0, costs=costs)
+
+    @classmethod
+    def remote(cls, num_disk_nodes: int = 8,
+               num_join_nodes: int = 8,
+               costs: CostModel = DEFAULT_COSTS) -> "GammaMachine":
+        """§4.3's configuration: disks for storage, diskless nodes for
+        the join computation."""
+        return cls(num_disk_nodes=num_disk_nodes,
+                   num_diskless_join_nodes=num_join_nodes, costs=costs)
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def num_disk_nodes(self) -> int:
+        return len(self.disk_nodes)
+
+    def join_nodes(self, config: MachineConfig | str) -> list[Node]:
+        """The processors that execute join operators under ``config``."""
+        config = MachineConfig(config)
+        if config is MachineConfig.LOCAL:
+            return list(self.disk_nodes)
+        if not self.diskless_nodes:
+            raise ValueError(
+                "remote configuration requested but this machine has no "
+                "diskless join processors; build it with "
+                "GammaMachine.remote(...)")
+        return list(self.diskless_nodes)
+
+    def disk_node_for(self, join_site: int) -> Node:
+        """A disk node for ``join_site``'s files, round-robin.
+
+        Generic allocation helper; the join drivers use their own
+        :meth:`repro.core.joins.base.JoinDriver.overflow_host`, which
+        additionally avoids aligning a diskless site's files with the
+        hash congruence (see Figure 14's Simple curves).
+        """
+        return self.disk_nodes[join_site % self.num_disk_nodes]
+
+    def fresh_port(self, label: str) -> str:
+        """A machine-unique port name for one operator phase."""
+        self._port_counter += 1
+        return f"{label}#{self._port_counter}"
+
+    # -- measurement ---------------------------------------------------------
+
+    def run_to_completion(self) -> float:
+        """Drain the event loop; returns the final simulated time."""
+        self.sim.run()
+        leftovers = self.registry.undelivered_messages()
+        if leftovers:
+            raise RuntimeError(
+                f"query finished with undelivered messages: {leftovers} — "
+                "an operator exited without draining its mailbox")
+        return self.sim.now
+
+    def disk_page_reads(self) -> int:
+        return sum(n.disk.pages_read for n in self.disk_nodes
+                   if n.disk is not None)
+
+    def disk_page_writes(self) -> int:
+        return sum(n.disk.pages_written for n in self.disk_nodes
+                   if n.disk is not None)
+
+    def cpu_utilisations(self) -> dict[str, float]:
+        """Per-node CPU utilisation over the elapsed simulation."""
+        return {n.name: n.cpu_utilisation() for n in self.nodes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<GammaMachine disks={len(self.disk_nodes)} "
+                f"diskless={len(self.diskless_nodes)} now={self.sim.now}>")

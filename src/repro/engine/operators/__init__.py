@@ -1,0 +1,34 @@
+"""Reusable operator processes.
+
+Gamma operators are written as if for a single processor: they read a
+tuple stream, work, and push results through a split table (§2.2).
+This package supplies the building blocks the join algorithms compose:
+
+* :class:`~repro.engine.operators.routing.Router` — per-destination
+  packet accumulation and end-of-stream bookkeeping (the outgoing half
+  of a split table).
+* :func:`~repro.engine.operators.scan.scan_pages` — the producing scan
+  loop (disk read, per-tuple CPU, route, flush).
+* :func:`~repro.engine.operators.writers.tempfile_writer` — a consumer
+  that spools arriving tuples into bucket-addressed
+  :class:`~repro.storage.files.PagedFile`\\ s on its local disk.
+* :func:`~repro.engine.operators.writers.WriterStats` — the local-write
+  accounting behind Table 2 of the paper.
+"""
+
+from repro.engine.operators.routing import Router
+from repro.engine.operators.scan import (
+    chain_file_pages,
+    fragment_pages,
+    scan_pages,
+)
+from repro.engine.operators.writers import WriterStats, tempfile_writer
+
+__all__ = [
+    "Router",
+    "WriterStats",
+    "chain_file_pages",
+    "fragment_pages",
+    "scan_pages",
+    "tempfile_writer",
+]

@@ -1,0 +1,118 @@
+"""The outgoing half of a split table: per-destination packet batching.
+
+A producing operator looks up each tuple's destination in its split
+table and copies the tuple into a per-destination output buffer; when
+a buffer fills one ring packet it is transmitted.  :class:`Router`
+implements that buffering plus the end-of-stream protocol: closing the
+router flushes every partial packet and sends one
+:class:`~repro.network.messages.EndOfStream` to *every* consumer —
+consumers terminate after hearing from each producer, so the EOS must
+flow even to consumers that received no data.
+
+CPU accounting: ``give`` is called at tuple rate, so it does no
+simulated work itself.  Callers accumulate per-tuple CPU (hash, move,
+filter test) and charge it in page-sized batches; the router charges
+only the per-packet protocol costs, at flush time, through
+``NetworkService.send``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.node import Node
+from repro.network.messages import DataPacket, EndOfStream
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.machine import GammaMachine
+
+Row = typing.Tuple
+_BufferKey = typing.Tuple[int, typing.Optional[int]]
+
+
+class Router:
+    """Routes tuples from one producer to a set of consumers."""
+
+    def __init__(self, machine: "GammaMachine", src_node: Node,
+                 consumers: typing.Sequence[Node], port: str,
+                 tuple_bytes: int) -> None:
+        if not consumers:
+            raise ValueError(f"router on port {port!r} needs >= 1 consumer")
+        self.machine = machine
+        self.src_node = src_node
+        self.consumers = list(consumers)
+        self.port = port
+        self.tuple_bytes = tuple_bytes
+        self.capacity = machine.costs.tuples_per_packet(tuple_bytes)
+        self._buffers: dict[_BufferKey, tuple[list[Row], list[int]]] = {}
+        self._ready: list[tuple[_BufferKey, list[Row], list[int]]] = []
+        self._rr_next = 0
+        self.closed = False
+        self.tuples_routed = 0
+
+    # -- buffering (tuple rate, no simulation) -----------------------------
+
+    def give(self, dst_node_id: int, row: Row, hash_code: int,
+             bucket: int | None = None) -> None:
+        """Buffer one tuple for ``dst_node_id``."""
+        if self.closed:
+            raise RuntimeError(f"router {self.port!r} already closed")
+        key = (dst_node_id, bucket)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = ([], [])
+            self._buffers[key] = buffer
+        buffer[0].append(row)
+        buffer[1].append(hash_code)
+        self.tuples_routed += 1
+        if len(buffer[0]) >= self.capacity:
+            del self._buffers[key]
+            self._ready.append((key, buffer[0], buffer[1]))
+
+    def give_round_robin(self, row: Row) -> None:
+        """Buffer one tuple for the next consumer in rotation (how the
+        root of a query tree feeds result-store operators, §2.2)."""
+        node = self.consumers[self._rr_next]
+        self._rr_next = (self._rr_next + 1) % len(self.consumers)
+        self.give(node.node_id, row, 0)
+
+    # -- transmission (simulated) --------------------------------------------
+
+    def _send(self, key: _BufferKey, rows: list[Row],
+              hashes: list[int]) -> typing.Generator:
+        dst_node_id, bucket = key
+        packet = DataPacket(
+            src_node=self.src_node.node_id,
+            rows=tuple(rows),
+            hashes=tuple(hashes),
+            payload_bytes=len(rows) * self.tuple_bytes,
+            bucket=bucket)
+        yield from self.machine.network.send(
+            self.src_node.node_id, dst_node_id, self.port, packet)
+
+    def flush_ready(self) -> typing.Generator:
+        """Transmit every buffer that has filled a packet."""
+        while self._ready:
+            key, rows, hashes = self._ready.pop(0)
+            yield from self._send(key, rows, hashes)
+
+    def close(self) -> typing.Generator:
+        """Flush all partial packets and send EOS to every consumer."""
+        if self.closed:
+            raise RuntimeError(f"double close of router {self.port!r}")
+        yield from self.flush_ready()
+        # Deterministic order for reproducibility.
+        for key in sorted(self._buffers,
+                          key=lambda k: (k[0], -1 if k[1] is None else k[1])):
+            rows, hashes = self._buffers[key]
+            yield from self._send(key, rows, hashes)
+        self._buffers.clear()
+        self.closed = True
+        eos = EndOfStream(src_node=self.src_node.node_id)
+        for consumer in self.consumers:
+            yield from self.machine.network.send(
+                self.src_node.node_id, consumer.node_id, self.port, eos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Router {self.port!r} from {self.src_node.name} "
+                f"routed={self.tuples_routed}>")

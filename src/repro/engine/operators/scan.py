@@ -1,0 +1,87 @@
+"""The producing scan loop.
+
+``scan_pages`` is the body of every producer operator in the
+reproduction: selection scans over relation fragments, re-reads of
+temporary bucket/overflow files, and sorted-file feeds.  It reads one
+page at a time from the node's disk (sequential, riding the WiSS
+readahead), charges per-tuple scan CPU plus whatever extra CPU the
+routing callback reports (hashing, split-table lookup and copy, filter
+tests), transmits any packets the callback filled, and finally closes
+all routers (flush + end-of-stream).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.node import Node
+from repro.engine.operators.routing import Router
+from repro.storage.files import PagedFile
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.machine import GammaMachine
+
+Row = typing.Tuple
+#: Callback deciding what to do with a scanned tuple.  Receives the row
+#: and returns the extra CPU seconds its work (hash + route + filter)
+#: cost; it buffers into routers as a side effect.
+RouteFn = typing.Callable[[Row], float]
+
+
+def fragment_pages(rows: typing.Sequence[Row], tuples_per_page: int
+                   ) -> typing.Iterator[typing.Sequence[Row]]:
+    """Page-sized chunks of a stored relation fragment."""
+    for start in range(0, len(rows), tuples_per_page):
+        yield rows[start:start + tuples_per_page]
+
+
+def chain_file_pages(files: typing.Sequence[PagedFile]
+                     ) -> typing.Iterator[typing.Sequence[Row]]:
+    """Pages of several temp files, read back to back."""
+    for file in files:
+        yield from file.pages()
+
+
+def scan_pages(machine: "GammaMachine", node: Node,
+               pages: typing.Iterable[typing.Sequence[Row]],
+               routers: typing.Sequence[Router],
+               route: RouteFn,
+               read_from_disk: bool = True,
+               predicate: typing.Callable[[Row], bool] | None = None,
+               ) -> typing.Generator:
+    """Scan ``pages`` on ``node``, routing each qualifying tuple.
+
+    Parameters
+    ----------
+    pages:
+        Page-sized row chunks (see :func:`fragment_pages` /
+        :func:`chain_file_pages`).
+    routers:
+        Every router the callback may buffer into; each is flushed
+        after every page and closed at end of scan.
+    route:
+        Per-tuple callback; returns extra CPU seconds.
+    read_from_disk:
+        False for already-in-memory feeds (e.g. probing directly from
+        a received stream); True charges one sequential page read per
+        page.
+    predicate:
+        Optional selection predicate evaluated at the scan site
+        (Gamma runs selections only on processors with disks, §2.1);
+        non-qualifying tuples cost their scan CPU but are not routed.
+    """
+    costs = machine.costs
+    for page in pages:
+        if read_from_disk:
+            yield from node.require_disk().read_pages(1, sequential=True)
+        cpu = 0.0
+        for row in page:
+            cpu += costs.tuple_scan
+            if predicate is not None and not predicate(row):
+                continue
+            cpu += route(row)
+        yield from node.cpu_use(cpu)
+        for router in routers:
+            yield from router.flush_ready()
+    for router in routers:
+        yield from router.close()

@@ -1,0 +1,98 @@
+"""Query scheduling costs and phase orchestration.
+
+Gamma queries are controlled by a scheduler process on a dedicated
+diskless node: it starts operator processes at each selected processor
+and receives a completion control message from each (§2.2 — with the
+exception of these control messages, execution is completely
+self-scheduling).  For the algorithms studied here the per-phase
+scheduling traffic matters twice:
+
+* every extra Grace/Hybrid bucket adds one more round of operator
+  scheduling ("each of which incurs a small scheduling overhead",
+  §4.1), and
+* once the partitioning split table no longer fits in a single 2 KB
+  ring packet it must be sent in pieces, producing the "extra rise in
+  the curves when memory is most scarce" (§4.1) and the Table 4
+  anomaly at seven buckets.
+
+:class:`Scheduler` charges those costs (control transfers are charged
+through :meth:`NetworkService.transfer_cost`; the actual operator
+arguments travel as Python objects) and runs each phase's producer and
+consumer processes to completion.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.node import Node
+from repro.sim import Process
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.machine import GammaMachine
+
+
+class Scheduler:
+    """Charges scheduling costs and supervises operator phases."""
+
+    def __init__(self, machine: "GammaMachine") -> None:
+        self.machine = machine
+        self.node = machine.scheduler_node
+        #: Number of phases started (diagnostics).
+        self.phases_started = 0
+        #: Control messages exchanged with operators.
+        self.messages = 0
+
+    # -- cost charging ------------------------------------------------------
+
+    def start_operators(self, operator_nodes: typing.Sequence[Node],
+                        split_table_bytes: int = 0) -> typing.Generator:
+        """Charge the cost of starting one operator on each node.
+
+        Each start costs an ``operator_startup`` slice of scheduler CPU
+        plus the transport of a control message carrying the split
+        table (fragmented across ring packets when it exceeds 2 KB).
+        """
+        for node in operator_nodes:
+            self.messages += 1
+            yield from self.node.cpu_use(self.machine.costs.operator_startup)
+            yield from self.machine.network.transfer_cost(
+                self.node.node_id, node.node_id,
+                max(64, split_table_bytes))
+
+    def collect_done(self, operator_nodes: typing.Sequence[Node]
+                     ) -> typing.Generator:
+        """Charge the "operator finished" control messages (§2.2)."""
+        for node in operator_nodes:
+            self.messages += 1
+            yield from self.machine.network.transfer_cost(
+                node.node_id, self.node.node_id, 64)
+
+    # -- phase orchestration --------------------------------------------------
+
+    def execute_phase(
+            self, name: str,
+            producers: typing.Sequence[tuple[Node, typing.Generator]],
+            consumers: typing.Sequence[tuple[Node, typing.Generator]],
+            split_table_bytes: int = 0) -> typing.Generator:
+        """Run one dataflow phase to completion.
+
+        Producers and consumers are (node, process-generator) pairs.
+        The scheduler charges start-up for every operator (producers
+        receive the split table), launches all processes, waits for
+        all of them, then charges the completion messages.
+        """
+        self.phases_started += 1
+        sim = self.machine.sim
+        yield from self.start_operators(
+            [node for node, _gen in producers],
+            split_table_bytes=split_table_bytes)
+        yield from self.start_operators([node for node, _gen in consumers])
+        processes: list[Process] = []
+        for index, (_node, gen) in enumerate(list(consumers)
+                                             + list(producers)):
+            processes.append(sim.process(gen, name=f"{name}[{index}]"))
+        yield sim.all_of(processes)
+        yield from self.collect_done(
+            [node for node, _gen in producers]
+            + [node for node, _gen in consumers])

@@ -1,0 +1,76 @@
+"""The experiment harness: every figure and table of the paper.
+
+Each experiment function builds the workload, runs the sweep, and
+returns a :class:`~repro.experiments.runner.Series` /
+:class:`~repro.experiments.runner.Table` that
+:mod:`~repro.experiments.report` renders the way the paper presents
+it.  The ``gamma-joins`` console script (``python -m
+repro.experiments``) drives them:
+
+.. code-block:: console
+
+    $ gamma-joins list                 # what can be reproduced
+    $ gamma-joins figure5              # one experiment, full scale
+    $ gamma-joins all --scale 0.1      # everything, reduced scale
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    Series,
+    SweepPoint,
+    Table,
+    run_sweep_point,
+)
+from repro.experiments.figures import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figures10_13,
+    figure14,
+    figure15,
+    figure16,
+)
+from repro.experiments.tables import table1, table2, table3, table4
+from repro.experiments.ablations import (
+    ablation_bucket_analyzer,
+    ablation_filter_size,
+    ablation_forming_filters,
+    ablation_legacy_hash,
+    ablation_overflow_policy,
+)
+from repro.experiments.multiuser import (
+    multiuser_throughput,
+    run_batch,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "Series",
+    "SweepPoint",
+    "Table",
+    "ablation_bucket_analyzer",
+    "ablation_legacy_hash",
+    "ablation_filter_size",
+    "ablation_forming_filters",
+    "ablation_overflow_policy",
+    "figure5",
+    "multiuser_throughput",
+    "run_batch",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figures10_13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "run_sweep_point",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,94 @@
+"""``gamma-joins`` — the command-line experiment harness.
+
+.. code-block:: console
+
+    $ gamma-joins list
+    $ gamma-joins figure5
+    $ gamma-joins table3 --scale 0.1 --seed 7
+    $ gamma-joins all --scale 0.1 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gamma-joins",
+        description="Reproduce the figures and tables of Schneider & "
+                    "DeWitt (SIGMOD 1989) on the simulated Gamma "
+                    "machine.")
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'gamma-joins list'), or 'list', "
+             "or 'all'")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="Wisconsin cardinality multiplier (1.0 = the paper's "
+             "100k x 10k joinABprime; default 1.0)")
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="workload generator seed (default 1)")
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="verify every join's result rows against a reference "
+             "join (slower)")
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write each report to <out>/<experiment>.txt")
+    return parser
+
+
+def run_experiment(name: str, config: ExperimentConfig,
+                   out_dir: pathlib.Path | None) -> None:
+    entry = EXPERIMENTS[name]
+    started = time.perf_counter()
+    outcome = entry.run(config)
+    elapsed = time.perf_counter() - started
+    text = render(outcome)
+    banner = (f"## {entry.name} — {entry.description}\n"
+              f"## scale={config.scale} seed={config.seed} "
+              f"(wall {elapsed:.1f}s)\n")
+    print(banner)
+    print(text)
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        safe = entry.name.replace("/", "_")
+        (out_dir / f"{safe}.txt").write_text(banner + text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, entry in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {entry.description}")
+        return 0
+    config = ExperimentConfig(scale=args.scale, seed=args.seed,
+                              verify_results=args.verify)
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; try "
+            "'gamma-joins list'")
+        return 2  # pragma: no cover - parser.error raises
+    for name in names:
+        run_experiment(name, config, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Multiuser throughput — the paper's §5 future work, implemented.
+
+The paper closes with an untested hypothesis:
+
+    "when Gamma processes joins locally, the processors are at 100%
+    CPU utilization.  However, when the remote configuration is used,
+    CPU utilization at the processors with disk drops to
+    approximately 60%.  Thus, in a multiuser environment, offloading
+    joins to remote processors may permit higher throughput by
+    reducing the load at the processors with disks.  We intend on
+    studying the multiuser tradeoffs in the near future."
+
+This module runs that study: K identical (non-HPJA) Hybrid joins
+launched concurrently on one machine, local vs remote.  With a single
+query the remote configuration wins on response time (Figure 16's
+ratio-1.0 point); the multiuser question is whether its idle disk-node
+capacity turns into *throughput* as queries stack up, or whether the
+shared join processors become the new bottleneck.
+
+Every query is a full simulated join: the drivers contend for the
+same CPUs, disk arms, and ring, so queueing effects are real.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.joins import ALGORITHMS, JoinSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Table, build_machine
+from repro.wisconsin.database import WisconsinDatabase
+
+
+@dataclasses.dataclass
+class MultiuserPoint:
+    """Measurements of one K-query batch."""
+
+    configuration: str
+    num_queries: int
+    #: Time until the last query completed.
+    makespan: float
+    #: Mean per-query response time (start to own completion).
+    mean_response: float
+    #: Queries per simulated minute.
+    throughput: float
+    #: Peak disk-node CPU utilisation over the batch.
+    disk_utilisation: float
+
+
+def run_batch(config: ExperimentConfig, db: WisconsinDatabase,
+              configuration: str, num_queries: int,
+              algorithm: str = "hybrid",
+              memory_ratio: float = 1.0) -> MultiuserPoint:
+    """Launch ``num_queries`` identical joins concurrently on one
+    machine and run them to completion."""
+    if num_queries < 1:
+        raise ValueError(f"need >= 1 query, got {num_queries}")
+    machine = build_machine(config, configuration)
+    spec = JoinSpec(
+        inner_attribute=db.inner_attribute,
+        outer_attribute=db.outer_attribute,
+        memory_ratio=memory_ratio,
+        configuration=configuration,
+        collect_result=False)
+    drivers = [ALGORITHMS[algorithm](machine, db.outer, db.inner, spec)
+               for _ in range(num_queries)]
+    for driver in drivers:
+        driver.launch()
+    makespan = machine.run_to_completion()
+    results = [driver.collect() for driver in drivers]
+    responses = [result.response_time for result in results]
+    disk_util = max(u for name, u in machine.cpu_utilisations().items()
+                    if name.startswith("disk"))
+    return MultiuserPoint(
+        configuration=configuration,
+        num_queries=num_queries,
+        makespan=makespan,
+        mean_response=sum(responses) / len(responses),
+        throughput=num_queries / makespan * 60.0,
+        disk_utilisation=disk_util,
+    )
+
+
+def multiuser_throughput(config: ExperimentConfig,
+                         batch_sizes: typing.Sequence[int] = (1, 2, 4),
+                         memory_ratio: float = 1.0) -> Table:
+    """The §5 study: local vs remote under concurrent load.
+
+    Non-HPJA joinABprime queries (the case the paper expects remote
+    to help — the tuples must be redistributed anyway).
+    """
+    db = WisconsinDatabase.joinabprime(
+        config.num_disk_nodes, scale=config.scale, seed=config.seed,
+        hpja=False)
+    columns = ["local q/min", "remote q/min", "local resp s",
+               "remote resp s", "local disk util", "remote disk util"]
+    rows = [f"{k} queries" for k in batch_sizes]
+    table = Table(
+        title="Multiuser throughput, non-HPJA Hybrid joins "
+              f"@ memory ratio {memory_ratio} (the paper's §5 "
+              "hypothesis)",
+        row_labels=rows, column_labels=columns)
+    for k, row in zip(batch_sizes, rows):
+        local = run_batch(config, db, "local", k,
+                          memory_ratio=memory_ratio)
+        remote = run_batch(config, db, "remote", k,
+                           memory_ratio=memory_ratio)
+        table.set(row, "local q/min", local.throughput)
+        table.set(row, "remote q/min", remote.throughput)
+        table.set(row, "local resp s", local.mean_response)
+        table.set(row, "remote resp s", remote.mean_response)
+        table.set(row, "local disk util", local.disk_utilisation)
+        table.set(row, "remote disk util", remote.disk_utilisation)
+    return table

@@ -1,0 +1,106 @@
+"""The experiment registry the CLI dispatches on."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.experiments import ablations, figures, multiuser, tables
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentEntry:
+    """One runnable experiment."""
+
+    name: str
+    description: str
+    run: typing.Callable[[ExperimentConfig], typing.Any]
+
+
+def _table1_adapter(config: ExperimentConfig):
+    return tables.table1()
+
+
+EXPERIMENTS: dict[str, ExperimentEntry] = {
+    entry.name: entry for entry in (
+        ExperimentEntry(
+            "figure5",
+            "HPJA local joins vs memory ratio, all four algorithms",
+            figures.figure5),
+        ExperimentEntry(
+            "figure6",
+            "non-HPJA local joins vs memory ratio",
+            figures.figure6),
+        ExperimentEntry(
+            "figure7",
+            "Hybrid at intermediate memory points: overflow vs extra "
+            "bucket",
+            figures.figure7),
+        ExperimentEntry(
+            "figure8",
+            "Figure 5 with bit-vector filters",
+            figures.figure8),
+        ExperimentEntry(
+            "figure9",
+            "Figure 6 with bit-vector filters",
+            figures.figure9),
+        ExperimentEntry(
+            "figures10-13",
+            "per-algorithm filter / no-filter overlays",
+            figures.figures10_13),
+        ExperimentEntry(
+            "figure14",
+            "remote joins: HPJA vs non-HPJA (Hybrid/Simple/Grace)",
+            figures.figure14),
+        ExperimentEntry(
+            "figure15",
+            "local vs remote joins, HPJA",
+            figures.figure15),
+        ExperimentEntry(
+            "figure16",
+            "local vs remote joins, non-HPJA (crossovers)",
+            figures.figure16),
+        ExperimentEntry(
+            "table1",
+            "split-table bucket/fragment mapping (§4.1 Table 1)",
+            _table1_adapter),
+        ExperimentEntry(
+            "table2",
+            "Hybrid bucket-forming local-write percentages (§4.3)",
+            tables.table2),
+        ExperimentEntry(
+            "table3",
+            "response times under UU/NU/UN skew (§4.4)",
+            tables.table3),
+        ExperimentEntry(
+            "table4",
+            "percentage improvement from bit filters under skew",
+            tables.table4),
+        ExperimentEntry(
+            "ablation-forming-filters",
+            "extension: bit filtering during bucket-forming",
+            ablations.ablation_forming_filters),
+        ExperimentEntry(
+            "ablation-filter-size",
+            "extension: larger bit-filter packets",
+            lambda config: ablations.ablation_filter_size(config)),
+        ExperimentEntry(
+            "ablation-overflow-policy",
+            "optimistic vs pessimistic bucket planning",
+            ablations.ablation_overflow_policy),
+        ExperimentEntry(
+            "ablation-legacy-hash",
+            "hash quality under skew: the paper's 1806s Simple NU "
+            "catastrophe, explained",
+            lambda config: ablations.ablation_legacy_hash(config)),
+        ExperimentEntry(
+            "multiuser-throughput",
+            "future work (§5): concurrent queries, local vs remote",
+            lambda config: multiuser.multiuser_throughput(config)),
+        ExperimentEntry(
+            "ablation-bucket-analyzer",
+            "Appendix A pathology with/without the bucket analyzer",
+            lambda config: ablations.ablation_bucket_analyzer(config)),
+    )
+}

@@ -1,0 +1,104 @@
+"""Plain-text rendering of figures and tables.
+
+The harness prints the same rows/series the paper reports; rendering
+is deliberately plain ASCII so it diffs cleanly and works everywhere.
+Figures get a column per memory ratio plus a crude dot-plot; tables
+mirror the paper's grids.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.figures import Figure
+from repro.experiments.runner import Series, Table
+
+
+def format_series_block(figure: Figure, width: int = 9) -> str:
+    """Render a figure as a label-by-ratio grid of response times."""
+    lines = [figure.title, "=" * len(figure.title)]
+    xs = figure.series[0].xs if figure.series else []
+    header = f"{'series':34s}" + "".join(
+        f"{x:>{width}.3f}" for x in xs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for series in figure.series:
+        cells = "".join(f"{y:>{width}.2f}" for y in series.ys)
+        lines.append(f"{series.label:34s}{cells}")
+    if figure.notes:
+        lines.append("")
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def format_dot_plot(figure: Figure, height: int = 16,
+                    width: int = 60) -> str:
+    """A crude terminal scatter of the figure's series."""
+    points: list[tuple[float, float, str]] = []
+    markers = "ox+*#@%&"
+    for index, series in enumerate(figure.series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(series.xs, series.ys):
+            points.append((x, y, marker))
+    if not points:
+        return "(empty figure)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = 0.0, max(ys) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = (0 if x_high == x_low else
+               round((x - x_low) / (x_high - x_low) * (width - 1)))
+        row = (height - 1 if y_high == y_low else
+               height - 1 - round((y - y_low) / (y_high - y_low)
+                                  * (height - 1)))
+        grid[row][col] = marker
+    lines = [f"{y_high:8.1f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{y_low:8.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x_low:<8.3f}" + " " *
+                 max(0, width - 16) + f"{x_high:>8.3f}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {s.label}"
+                        for i, s in enumerate(figure.series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def format_table(table: Table, width: int = 12,
+                 precision: int = 2) -> str:
+    """Render a Table the way the paper prints its grids."""
+    lines = [table.title, "=" * len(table.title)]
+    label_width = max([len(r) for r in table.row_labels] + [10]) + 2
+    header = " " * label_width + "".join(
+        f"{c:>{width}s}" for c in table.column_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table.row_labels:
+        cells = []
+        for column in table.column_labels:
+            if table.has(row, column):
+                cells.append(
+                    f"{table.get(row, column):>{width}.{precision}f}")
+            else:
+                cells.append(f"{'-':>{width}s}")
+        lines.append(f"{row:<{label_width}s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render(item: typing.Union[Figure, Table, Series, list]) -> str:
+    """Render any experiment output."""
+    if isinstance(item, Figure):
+        return (format_series_block(item) + "\n\n"
+                + format_dot_plot(item))
+    if isinstance(item, Table):
+        return format_table(item)
+    if isinstance(item, Series):
+        lines = [item.label]
+        for x, y in zip(item.xs, item.ys):
+            lines.append(f"  x={x:8.3f}  t={y:10.2f}s")
+        return "\n".join(lines)
+    if isinstance(item, list):
+        return "\n\n".join(render(element) for element in item)
+    return repr(item)

@@ -1,0 +1,127 @@
+"""Sweep execution and result containers.
+
+A figure is a set of :class:`Series` (one line each) over the memory
+ratio x-axis; a table is a :class:`Table` of labelled cells.  Each
+data point is produced by :func:`run_sweep_point`, which builds a
+fresh machine (response times are measured from simulated t = 0),
+runs the join, optionally verifies the result rows against the
+reference join, and keeps the full :class:`~repro.core.joins.base
+.JoinResult` for inspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.joins import JoinResult, run_join
+from repro.core.joins.reference import assert_same_result
+from repro.engine.machine import GammaMachine
+from repro.experiments.config import ExperimentConfig
+from repro.wisconsin.database import WisconsinDatabase
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One (x, y) measurement plus its full join result."""
+
+    x: float
+    response_time: float
+    result: JoinResult | None = None
+
+    def __iter__(self):
+        return iter((self.x, self.response_time))
+
+
+@dataclasses.dataclass
+class Series:
+    """One labelled line of a figure."""
+
+    label: str
+    points: list[SweepPoint] = dataclasses.field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [p.response_time for p in self.points]
+
+    def y_at(self, x: float, tolerance: float = 1e-6) -> float:
+        for point in self.points:
+            if abs(point.x - x) <= tolerance:
+                return point.response_time
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclasses.dataclass
+class Table:
+    """A labelled grid of measurements (Tables 2-4 of the paper)."""
+
+    title: str
+    row_labels: list[str]
+    column_labels: list[str]
+    cells: dict = dataclasses.field(default_factory=dict)
+
+    def set(self, row: str, column: str, value: float) -> None:
+        self.cells[(row, column)] = value
+
+    def get(self, row: str, column: str) -> float:
+        return self.cells[(row, column)]
+
+    def has(self, row: str, column: str) -> bool:
+        return (row, column) in self.cells
+
+
+def build_machine(config: ExperimentConfig, configuration: str
+                  ) -> GammaMachine:
+    """A fresh machine of the requested §4 configuration."""
+    if configuration == "remote":
+        return GammaMachine.remote(config.num_disk_nodes,
+                                   config.num_remote_join_nodes)
+    return GammaMachine.local(config.num_disk_nodes)
+
+
+def auto_capacity_slack(inner_tuples: int, memory_ratio: float,
+                        num_disks: int) -> float:
+    """Scale-aware hash-table sizing headroom.
+
+    Hash quantisation noise is a near-constant handful of tuples per
+    (bucket, site) cell, so the *relative* slack a reduced-scale run
+    needs grows as cells shrink.  At the paper's scale (cells of
+    ~200+ tuples) this evaluates to the library default (~1.10); at
+    bench scales it widens just enough that the uniform experiments
+    stay overflow-free, exactly as Gamma's were (§4).
+    """
+    expected_cell = max(1.0, inner_tuples * memory_ratio / num_disks)
+    return max(1.10, 1.06 + 7.0 / expected_cell)
+
+
+def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
+                    algorithm: str, memory_ratio: float,
+                    configuration: str = "local",
+                    keep_result: bool = True,
+                    **spec_kwargs: typing.Any) -> SweepPoint:
+    """Run one join at one memory ratio on a fresh machine."""
+    machine = build_machine(config, configuration)
+    if "capacity_slack" not in spec_kwargs:
+        spec_kwargs["capacity_slack"] = auto_capacity_slack(
+            db.inner.cardinality, memory_ratio,
+            config.num_disk_nodes)
+    result = run_join(
+        algorithm, machine, db.outer, db.inner,
+        inner_attribute=db.inner_attribute,
+        outer_attribute=db.outer_attribute,
+        memory_ratio=memory_ratio,
+        configuration=configuration,
+        collect_result=config.verify_results,
+        **spec_kwargs)
+    if config.verify_results:
+        assert_same_result(result.result_rows, db.expected_result_rows)
+    return SweepPoint(x=memory_ratio,
+                      response_time=result.response_time,
+                      result=result if keep_result else None)

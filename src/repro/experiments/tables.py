@@ -1,0 +1,169 @@
+"""Reproductions of the paper's tables.
+
+* Table 1 (§4.1): the bucket/fragment value mapping of a 3-bucket
+  Grace join over 4 disks — pure split-table arithmetic.
+* Table 2 (§4.3): percentage of tuples written to local disks during
+  Hybrid bucket-forming, HPJA vs non-HPJA, per bucket count.
+* Table 3 (§4.4): response times under the UU/NU/UN skew design space
+  at 100 % and 17 % memory (with bit filters, as in the paper).
+* Table 4 (§4.4): percentage improvement from bit filtering on the
+  same grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Table, run_sweep_point
+from repro.wisconsin.database import WisconsinDatabase
+
+#: Paper ordering of Table 3/4 rows.
+TABLE3_ALGORITHMS = ("hybrid", "grace", "sort-merge", "simple")
+TABLE3_KINDS = ("UU", "NU", "UN")
+TABLE3_RATIOS = (1.0, 0.17)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: split-table value mapping (no simulation needed)
+# ---------------------------------------------------------------------------
+
+def table1(num_buckets: int = 3, num_disks: int = 4,
+           values_per_cell: int = 3) -> Table:
+    """§4.1 Table 1: hashed-value layout of a Grace partitioning.
+
+    For identity-hashed attribute values, entry ``e = v mod (N*D)``
+    maps value ``v`` to disk ``e mod D`` within bucket ``e div D``;
+    the final row shows ``v mod D`` — constant per disk, which is why
+    the joining phase maps every fragment back to its own site.
+    """
+    total = num_buckets * num_disks
+    rows = [f"bucket{b + 1}" for b in range(num_buckets)]
+    rows.append("mod result")
+    columns = [f"disk{d + 1}" for d in range(num_disks)]
+    table = Table(title=f"{num_buckets}-bucket Grace over "
+                        f"{num_disks} disks: value -> (bucket, disk)",
+                  row_labels=rows, column_labels=columns)
+    for bucket in range(num_buckets):
+        for disk in range(num_disks):
+            first = bucket * num_disks + disk
+            # Representative: the first value landing in this cell.
+            table.set(f"bucket{bucket + 1}", f"disk{disk + 1}",
+                      float(first))
+    for disk in range(num_disks):
+        table.set("mod result", f"disk{disk + 1}", float(disk))
+    return table
+
+
+def table1_value_lists(num_buckets: int = 3, num_disks: int = 4,
+                       count: int = 3) -> dict:
+    """The full value lists of §4.1 Table 1 (e.g. disk1/bucket1 ->
+    [0, 12, 24, ...]) for display and tests."""
+    total = num_buckets * num_disks
+    cells: dict = {}
+    for bucket in range(num_buckets):
+        for disk in range(num_disks):
+            first = bucket * num_disks + disk
+            cells[(bucket, disk)] = [first + k * total
+                                     for k in range(count)]
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Table 2: local writes during Hybrid bucket-forming
+# ---------------------------------------------------------------------------
+
+def table2(config: ExperimentConfig) -> Table:
+    """§4.3 Table 2: % of all joining tuples written locally during
+    Hybrid bucket-forming (remote configuration), by bucket count."""
+    columns = ["HPJA local writes %", "non-HPJA local writes %"]
+    ratios = [r for r in config.memory_ratios if r < 1.0]
+    rows = [f"{max(1, round(1 / r))} buckets" for r in ratios]
+    table = Table(title="Hybrid bucket-forming local writes "
+                        "(remote configuration)",
+                  row_labels=rows, column_labels=columns)
+    for hpja, column in ((True, columns[0]), (False, columns[1])):
+        db = WisconsinDatabase.joinabprime(
+            config.num_disk_nodes, scale=config.scale,
+            seed=config.seed, hpja=hpja)
+        total_tuples = db.outer.cardinality + db.inner.cardinality
+        for ratio, row in zip(ratios, rows):
+            point = run_sweep_point(config, db, "hybrid", ratio,
+                                    configuration="remote")
+            writes = point.result.bucket_forming_writes
+            table.set(row, column, 100.0 * writes.tuples_local
+                      / max(1, total_tuples))
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tables 3 and 4: non-uniform join attribute values
+# ---------------------------------------------------------------------------
+
+def _skew_point(config: ExperimentConfig, db: WisconsinDatabase,
+                algorithm: str, kind: str, ratio: float,
+                bit_filters: bool):
+    """One Table 3/4 cell, with the paper's Grace extra bucket when
+    the inner relation is skewed."""
+    spec_kwargs: dict = {
+        "bit_filters": bit_filters,
+        "capacity_slack": config.skew_capacity_slack,
+    }
+    if algorithm == "grace" and kind.startswith("N"):
+        # §4.4: "we executed this algorithm using one additional
+        # bucket so that no memory overflow would occur".
+        base = max(1, math.ceil((1 / ratio) * (1 - 1e-6)))
+        spec_kwargs["num_buckets"] = base + 1
+    return run_sweep_point(config, db, algorithm, ratio, **spec_kwargs)
+
+
+def table3(config: ExperimentConfig, bit_filters: bool = True) -> Table:
+    """§4.4 Table 3: response times under skew (w/ filters by default).
+
+    NN is omitted from the grid exactly as in the paper (its result
+    cardinality — ~368 000 tuples at full scale — is not comparable);
+    use :func:`nn_cardinality` for the NN ground truth.
+    """
+    columns = [f"{kind}@{int(ratio * 100)}%"
+               for ratio in TABLE3_RATIOS for kind in TABLE3_KINDS]
+    table = Table(
+        title="Join response times with non-uniform attribute values"
+              + (" (with bit filters)" if bit_filters else
+                 " (no filters)"),
+        row_labels=list(TABLE3_ALGORITHMS), column_labels=columns)
+    for kind in TABLE3_KINDS:
+        db = WisconsinDatabase.skewed(
+            config.num_disk_nodes, kind, scale=config.scale,
+            seed=config.seed)
+        for ratio in TABLE3_RATIOS:
+            column = f"{kind}@{int(ratio * 100)}%"
+            for algorithm in TABLE3_ALGORITHMS:
+                point = _skew_point(config, db, algorithm, kind,
+                                    ratio, bit_filters)
+                table.set(algorithm, column, point.response_time)
+    return table
+
+
+def table4(config: ExperimentConfig) -> Table:
+    """§4.4 Table 4: percentage improvement from bit filters."""
+    with_filters = table3(config, bit_filters=True)
+    without = table3(config, bit_filters=False)
+    table = Table(title="Percentage improvement using bit vector "
+                        "filters",
+                  row_labels=list(TABLE3_ALGORITHMS),
+                  column_labels=list(with_filters.column_labels))
+    for row in table.row_labels:
+        for column in table.column_labels:
+            before = without.get(row, column)
+            after = with_filters.get(row, column)
+            table.set(row, column, 100.0 * (1 - after / before))
+    return table
+
+
+def nn_cardinality(config: ExperimentConfig) -> int:
+    """The NN join's result cardinality (paper: 368 474 tuples at
+    full scale) — computed from the reference join."""
+    db = WisconsinDatabase.skewed(
+        config.num_disk_nodes, "NN", scale=config.scale,
+        seed=config.seed)
+    return db.expected_result_tuples

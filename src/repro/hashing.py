@@ -1,0 +1,144 @@
+"""Gamma's randomizing (hash) function family.
+
+A single base hash function is applied to join/partitioning attribute
+values everywhere — loading, split-table indexing, hash-table slotting,
+bit-filter bits — and different *uses* take the value modulo different
+table sizes.  This is exactly how Gamma works and it is what makes the
+HPJA short-circuiting of §4.1 emerge from congruence arithmetic rather
+than special-casing (see Appendix A of the paper and
+``repro.core.split_table``).
+
+Two properties of the multiplicative hash below matter for the
+reproduction:
+
+* For *consecutive unique* integers (Wisconsin ``unique1``) the value
+  ``(v * K) mod 2**32`` with odd ``K`` is a bijection modulo any power
+  of two, so partitioning 10 000 consecutive keys over 8 sites is
+  perfectly balanced — matching the paper's uniform experiments, where
+  Grace and Hybrid never experienced hash-table overflow.
+* Duplicate attribute values (the normal(50 000, 750) skew of §4.4)
+  necessarily collide — all copies of a value land on one site and in
+  one hash chain — which reproduces the overflow and chaining effects
+  of the non-uniform experiments.
+
+The *level* parameter selects a different function from the family.
+The Simple hash-join changes hash function after each overflow
+(level + 1) when it re-splits overflow partitions, which is what turns
+HPJA joins into non-HPJA joins (§4.1).
+"""
+
+from __future__ import annotations
+
+HASH_BITS = 32
+HASH_MODULUS = 1 << HASH_BITS
+_MASK = HASH_MODULUS - 1
+
+#: Knuth's multiplicative constant (2**32 / phi, forced odd).
+_BASE_MULTIPLIER = 2654435761
+
+#: splitmix64 constants used to derive per-level multipliers.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def level_multiplier(level: int) -> int:
+    """The odd 32-bit multiplier used by hash function ``level``."""
+    if level < 0:
+        raise ValueError(f"hash level must be >= 0, got {level}")
+    if level == 0:
+        return _BASE_MULTIPLIER
+    # splitmix64 finalizer over the level, truncated to 32 bits, odd.
+    z = (level * _SPLITMIX_GAMMA) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    z = z ^ (z >> 31)
+    return (z & _MASK) | 1
+
+
+def hash_int(value: int, level: int = 0) -> int:
+    """Hash an integer attribute value into ``[0, 2**32)``."""
+    return (value * level_multiplier(level)) & _MASK
+
+
+def hash_str(value: str, level: int = 0) -> int:
+    """Hash a string attribute value into ``[0, 2**32)`` (FNV-1a)."""
+    h = 2166136261
+    for byte in value.encode("utf-8", errors="surrogatepass"):
+        h = ((h ^ byte) * 16777619) & _MASK
+    return (h * level_multiplier(level)) & _MASK
+
+
+def hash_value(value: int | str, level: int = 0) -> int:
+    """Hash an attribute value of either Wisconsin kind."""
+    if isinstance(value, int):
+        return hash_int(value, level)
+    if isinstance(value, str):
+        return hash_str(value, level)
+    raise TypeError(
+        f"can only hash int or str attribute values, got "
+        f"{type(value).__name__}")
+
+
+def hash_fraction(hash_code: int) -> float:
+    """Map a hash code to [0, 1) — the axis the overflow histogram and
+    cutoff mechanism of the Simple hash-join operate on (§4.1)."""
+    return hash_code / HASH_MODULUS
+
+
+def legacy_hash_int(value: int, level: int = 0) -> int:
+    """A weak, locality-preserving randomizing function.
+
+    Models the behaviour implied by the paper's §4.1 example ("the
+    histogram may show us that writing all tuples with hash values
+    above 90,000 ...") — a hash whose range mirrors the attribute
+    domain and whose output preserves value locality.  Uniform keys
+    hash uniformly (so the paper's uniform experiments behave
+    normally), but a *clustered* value distribution like the
+    normal(50 000, 750) skew collapses into a narrow slice of hash
+    space: the overflow histogram degenerates to a few hot bins, each
+    clearing pass evicts huge chunks, and the Simple hash-join's
+    overflow recursion thrashes — the mechanism behind the paper's
+    catastrophic 1 806-second Simple NU measurement (Table 3).
+
+    Per-level variation shifts and stretches the line (the recursion
+    must still change functions between levels) without restoring
+    avalanche behaviour — which is exactly why Gamma's recursion
+    could not escape the clustering.
+    """
+    if level < 0:
+        raise ValueError(f"hash level must be >= 0, got {level}")
+    # Scale a ~100k-value domain across the hash space; small odd
+    # per-level multipliers keep site assignment balanced for
+    # consecutive keys while preserving locality.
+    stretch = (2 * level + 1)
+    scale = (HASH_MODULUS // 100_000) | 1
+    return (value * stretch * scale + level * 977) & _MASK
+
+
+def legacy_hash_value(value: int | str, level: int = 0) -> int:
+    """Legacy-family dispatch (strings fall back to the real hash —
+    the locality pathology is an integer-domain phenomenon)."""
+    if isinstance(value, int):
+        return legacy_hash_int(value, level)
+    return hash_str(value, level)
+
+
+#: Hash-family registry used by :class:`repro.core.joins.base.JoinSpec`.
+HASH_FAMILIES = {
+    "avalanche": hash_value,
+    "legacy": legacy_hash_value,
+}
+
+
+def remix(hash_code: int) -> int:
+    """A second, independent scrambling of an existing hash code.
+
+    Bit-vector filters index their bits with ``remix(h) % bits`` so the
+    filter bit is statistically independent of the split-table index
+    derived from ``h`` (all tuples arriving at one join site share
+    ``h mod J``; without the remix they would only exercise a subset of
+    the filter).
+    """
+    z = (hash_code + 0x9E3779B9) & _MASK
+    z = ((z ^ (z >> 16)) * 0x85EBCA6B) & _MASK
+    z = ((z ^ (z >> 13)) * 0xC2B2AE35) & _MASK
+    return z ^ (z >> 16)

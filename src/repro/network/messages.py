@@ -1,0 +1,68 @@
+"""Message types carried by the simulated network.
+
+Three kinds of traffic flow between operator processes:
+
+* :class:`DataPacket` — a batch of tuples filling (up to) one 2 KB ring
+  packet.  Tuples never straddle packets, matching Gamma's fixed
+  packet framing; payload bytes are declared-width tuple bytes.
+* :class:`ControlMessage` — scheduler traffic: operator start/done,
+  split-table distribution, bit-filter collection/broadcast, overflow
+  cutoff propagation.
+* :class:`EndOfStream` — the end-of-stream marker a producing operator
+  sends to each consumer when it closes its output streams (§2.2);
+  consumers terminate after hearing from every producer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+Row = typing.Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class DataPacket:
+    """A batch of tuples from one producer to one consumer."""
+
+    src_node: int
+    rows: tuple
+    payload_bytes: int
+    #: Pre-computed hash codes aligned with ``rows`` — Gamma computes
+    #: the hash once at the producer; consumers reuse it for hash-table
+    #: slotting, so the simulation does too.
+    hashes: tuple
+    #: Logical bucket this batch belongs to (Grace/Hybrid bucket
+    #: forming), or None for single-stream traffic.
+    bucket: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != len(self.hashes):
+            raise ValueError(
+                f"packet rows/hashes mismatch: {len(self.rows)} vs "
+                f"{len(self.hashes)}")
+        if not self.rows:
+            raise ValueError("empty data packet")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclasses.dataclass(frozen=True)
+class EndOfStream:
+    """Producer ``src_node`` has closed its output stream."""
+
+    src_node: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlMessage:
+    """Scheduler/operator control traffic."""
+
+    kind: str
+    src_node: int
+    payload: typing.Any = None
+    payload_bytes: int = 64
+
+
+Message = typing.Union[DataPacket, EndOfStream, ControlMessage]

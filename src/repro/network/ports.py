@@ -1,0 +1,48 @@
+"""Process addressing: (node id, port name) mailboxes.
+
+Gamma split-table entries hold ``(machine_id, port #)`` destination
+addresses (§2.2/Appendix A).  The :class:`PortRegistry` is the
+reproduction's switchboard: it lazily creates one unbounded FIFO
+:class:`~repro.sim.resources.Store` per address, and consumers read
+their mailbox with ``yield mailbox.get()``.
+
+Ports are strings namespaced by convention, e.g. ``"join.build"``,
+``"temp.R.bucket"``, ``"store.result"``; each query phase uses fresh
+port names so stale traffic from a previous phase can never be
+misread (and a leftover-message check catches protocol bugs).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Simulator, Store
+
+Address = typing.Tuple[int, str]
+
+
+class PortRegistry:
+    """All mailboxes of one machine."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._mailboxes: dict[Address, Store] = {}
+
+    def mailbox(self, node_id: int, port: str) -> Store:
+        """The mailbox for ``(node_id, port)``, created on first use."""
+        address = (node_id, port)
+        mailbox = self._mailboxes.get(address)
+        if mailbox is None:
+            mailbox = Store(self.sim, name=f"{node_id}:{port}")
+            self._mailboxes[address] = mailbox
+        return mailbox
+
+    def undelivered_messages(self) -> dict[Address, int]:
+        """Addresses with unread messages (protocol-bug detector;
+        should be empty once a query completes)."""
+        return {address: box.pending_items
+                for address, box in self._mailboxes.items()
+                if box.pending_items}
+
+    def __len__(self) -> int:
+        return len(self._mailboxes)

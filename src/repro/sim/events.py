@@ -1,0 +1,192 @@
+"""Waitable event primitives for the simulation kernel.
+
+An :class:`Event` is the unit of synchronisation: processes ``yield``
+events and are resumed when the event *fires*.  Events fire at a
+specific simulated time, carry an optional value, and invoke their
+callbacks in registration order.
+
+The lifecycle is strictly one-way::
+
+    pending --succeed()/fail()--> triggered --(heap pop)--> fired
+
+``succeed`` may be called at most once; firing an event twice is a
+programming error and raises :class:`RuntimeError`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+# Events scheduled at the same time fire in priority order, then in the
+# order they were scheduled.  URGENT is used by the kernel for resource
+# grants so that a released resource is re-granted before ordinary
+# timeouts at the same instant.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  Events are bound to exactly one simulator
+        and may only be waited on by processes of that simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[typing.Callable[[Event], None]] = []
+        self._value: typing.Any = None
+        self._ok = True
+        self._triggered = False
+        self._fired = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries an exception (see :meth:`fail`)."""
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        """The value the event fired with (or the carried exception)."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: typing.Any = None, delay: float = 0.0,
+                priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0,
+             priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire carrying ``exception``.
+
+        A process waiting on a failed event has the exception thrown
+        into its generator at the ``yield`` statement.
+        """
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    # -- kernel hooks --------------------------------------------------------
+
+    def _fire(self) -> None:
+        """Run callbacks.  Called exactly once by the event loop."""
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float,
+                 value: typing.Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator",
+                 events: typing.Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("all events must belong to one simulator")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            if event.fired:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired.
+
+    The value is the list of constituent values in constructor order.
+    If any constituent fails, the condition fails with that exception
+    (first failure wins).
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires.
+
+    The value is the (event, value) pair of the first event to fire.
+    """
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed((event, event.value))

@@ -1,0 +1,103 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that ``yield``\\ s
+:class:`~repro.sim.events.Event` objects.  Yielding suspends the process
+until the event fires; the event's value becomes the value of the
+``yield`` expression.  A process is itself an event that fires (with the
+generator's return value) when the generator finishes, so processes can
+wait on each other::
+
+    def parent(sim):
+        child_proc = sim.process(child(sim))
+        result = yield child_proc          # join
+        ...
+
+Unhandled exceptions inside a process are wrapped in
+:class:`ProcessCrash` and propagated out of :meth:`Simulator.run` —
+model bugs fail fast instead of silently deadlocking the simulation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class ProcessCrash(RuntimeError):
+    """An unhandled exception escaped a simulated process."""
+
+    def __init__(self, process: "Process", cause: BaseException) -> None:
+        super().__init__(
+            f"process {process.name!r} crashed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated process (also an event: fires on completion)."""
+
+    __slots__ = ("generator", "name", "crash_error")
+
+    def __init__(self, sim: "Simulator", generator: typing.Generator,
+                 name: str | None = None) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process body must be a generator, got {generator!r} — "
+                "did you call a plain function instead of a generator "
+                "function?")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.crash_error: ProcessCrash | None = None
+        # Kick off the process at the current instant.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator by one event."""
+        while True:
+            try:
+                if event.ok:
+                    target = self.generator.send(event.value)
+                else:
+                    target = self.generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - fail fast
+                self.crash_error = ProcessCrash(self, exc)
+                self.crash_error.__cause__ = exc
+                self.sim._crashed.append(self)
+                # Still trigger so waiters do not hang forever; the
+                # simulator raises before any waiter observes this.
+                self.fail(self.crash_error)
+                return
+            if not isinstance(target, Event):
+                error = TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "may only yield Event instances")
+                self.crash_error = ProcessCrash(self, error)
+                self.sim._crashed.append(self)
+                self.fail(self.crash_error)
+                return
+            if target.fired:
+                # The event already happened — continue synchronously
+                # with its value rather than re-queueing.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

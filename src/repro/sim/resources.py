@@ -1,0 +1,173 @@
+"""Contended resources and message stores.
+
+:class:`Resource` models a fixed-capacity server with a FIFO wait queue
+— one per CPU, one per disk arm, one for the token ring.  The usage
+idiom is::
+
+    grant = yield resource.request()
+    try:
+        yield sim.timeout(service_time)
+    finally:
+        resource.release(grant)
+
+or, equivalently, the one-shot helper ``yield from resource.use(dt)``.
+
+:class:`Store` is an unbounded FIFO queue of items used as a process
+mailbox: ``put`` never blocks, ``get`` returns an event that fires when
+an item is available.  Items are delivered in arrival order, one per
+waiting getter, never duplicated and never lost (tested property-based).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import PRIORITY_URGENT, Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+class Grant:
+    """Token proving a request was granted; required for release."""
+
+    __slots__ = ("resource", "released")
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+        self.released = False
+
+
+class Resource:
+    """A FIFO-queued resource with ``capacity`` concurrent users.
+
+    Tracks utilisation statistics (total busy time integrated over
+    users) so the experiment harness can report CPU utilisation the way
+    §5 of the paper does for local vs remote joins.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: collections.deque[tuple[Event, Grant]] = (
+            collections.deque())
+        # Statistics
+        self.busy_time = 0.0
+        self._last_change = 0.0
+        self.total_acquisitions = 0
+
+    # -- acquisition -----------------------------------------------------
+
+    def request(self) -> Event:
+        """An event that fires with a :class:`Grant` when capacity frees."""
+        event = Event(self.sim)
+        grant = Grant(self)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self.total_acquisitions += 1
+            event.succeed(grant, priority=PRIORITY_URGENT)
+        else:
+            self._waiting.append((event, grant))
+        return event
+
+    def release(self, grant: Grant) -> None:
+        """Return capacity; hands it to the oldest waiter, if any."""
+        if grant.resource is not self:
+            raise ValueError("grant belongs to a different resource")
+        if grant.released:
+            raise RuntimeError("double release of a resource grant")
+        grant.released = True
+        if self._waiting:
+            event, next_grant = self._waiting.popleft()
+            self.total_acquisitions += 1
+            event.succeed(next_grant, priority=PRIORITY_URGENT)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def use(self, duration: float) -> typing.Generator[Event, typing.Any,
+                                                       None]:
+        """``yield from`` helper: acquire, hold for ``duration``, release."""
+        grant = yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(grant)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilisation(self, horizon: float | None = None) -> float:
+        """Fraction of ``horizon`` (default: now) this resource was busy."""
+        self._account()
+        horizon = self.sim.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+                f"queue={len(self._waiting)}>")
+
+
+class Store:
+    """Unbounded FIFO item queue (process mailbox)."""
+
+    def __init__(self, sim: "Simulator", name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def put(self, item: typing.Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter."""
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_gets += 1
+            getter.succeed(item, priority=PRIORITY_URGENT)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            self.total_gets += 1
+            event.succeed(self._items.popleft(), priority=PRIORITY_URGENT)
+        else:
+            self._getters.append(event)
+        return event
+
+    @property
+    def pending_items(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Store {self.name!r} items={len(self._items)} "
+                f"getters={len(self._getters)}>")

@@ -1,0 +1,375 @@
+"""B+-tree index (the WiSS "B+ indices" file service).
+
+A textbook B+ tree: fixed fan-out, keys in internal nodes, (key, value)
+pairs in linked leaves.  Gamma builds these over permanent relations
+for indexed selections (the ``joinAselB`` / ``joinCselAselB`` family of
+benchmark queries scan via an index when one exists).
+
+Every node carries a synthetic page id, and each operation records the
+node path it touched in :attr:`BPlusTree.last_touched_pages`, so a
+caller can feed the trail through a :class:`~repro.storage.buffer
+.BufferPool` and charge only the misses to a disk.
+
+Duplicate keys are supported (the Wisconsin skewed attribute is full of
+them): inserting an existing key appends to the key's value list, and
+deletes remove one value at a time.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import typing
+
+Key = typing.Union[int, str]
+
+_page_counter = itertools.count(1)
+
+
+class _Node:
+    __slots__ = ("page_id", "keys", "parent")
+
+    def __init__(self) -> None:
+        self.page_id = next(_page_counter)
+        self.keys: list[Key] = []
+        self.parent: "_Inner | None" = None
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next", "prev")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[list] = []
+        self.next: "_Leaf | None" = None
+        self.prev: "_Leaf | None" = None
+
+
+class _Inner(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[_Node] = []
+
+
+class BPlusTree:
+    """A B+ tree with ``order`` children per internal node.
+
+    Examples
+    --------
+    >>> tree = BPlusTree(order=4)
+    >>> for k in [5, 1, 9, 3, 7]:
+    ...     tree.insert(k, f"row{k}")
+    >>> tree.search(7)
+    ['row7']
+    >>> [k for k, _ in tree.range_scan(3, 8)]
+    [3, 5, 7]
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3, got {order}")
+        self.order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+        self.height = 1
+        #: Page ids touched by the most recent operation (root → leaf).
+        self.last_touched_pages: list[int] = []
+
+    # -- basic properties ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_keys(self) -> int:
+        """Distinct keys stored (``len(tree)`` counts values)."""
+        return sum(len(leaf.keys) for leaf in self._leaves())
+
+    # -- search ------------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> _Leaf:
+        self.last_touched_pages = []
+        node = self._root
+        while isinstance(node, _Inner):
+            self.last_touched_pages.append(node.page_id)
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        self.last_touched_pages.append(node.page_id)
+        assert isinstance(node, _Leaf)
+        return node
+
+    def search(self, key: Key) -> list:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: Key) -> bool:
+        return bool(self.search(key))
+
+    def range_scan(self, low: Key, high: Key
+                   ) -> typing.Iterator[tuple[Key, typing.Any]]:
+        """Yield (key, value) pairs with ``low <= key <= high``,
+        ascending, one pair per stored value."""
+        leaf: _Leaf | None = self._find_leaf(low)
+        touched = list(self.last_touched_pages)
+        index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > high:
+                    self.last_touched_pages = touched
+                    return
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next
+            if leaf is not None:
+                touched.append(leaf.page_id)
+            index = 0
+        self.last_touched_pages = touched
+
+    def items(self) -> typing.Iterator[tuple[Key, typing.Any]]:
+        """All (key, value) pairs in key order."""
+        for leaf in self._leaves():
+            for key, values in zip(leaf.keys, leaf.values):
+                for value in values:
+                    yield key, value
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, key: Key, value: typing.Any) -> None:
+        """Insert one (key, value) pair; duplicates accumulate."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index].append(value)
+            self._size += 1
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, [value])
+        self._size += 1
+        if len(leaf.keys) >= self.order:
+            self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _Leaf) -> None:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        self._insert_into_parent(leaf, right.keys[0], right)
+
+    def _split_inner(self, node: _Inner) -> None:
+        mid = len(node.keys) // 2
+        promoted = node.keys[mid]
+        right = _Inner()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        for child in right.children:
+            child.parent = right
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._insert_into_parent(node, promoted, right)
+
+    def _insert_into_parent(self, left: _Node, key: Key,
+                            right: _Node) -> None:
+        parent = left.parent
+        if parent is None:
+            new_root = _Inner()
+            new_root.keys = [key]
+            new_root.children = [left, right]
+            left.parent = new_root
+            right.parent = new_root
+            self._root = new_root
+            self.height += 1
+            return
+        index = parent.children.index(left)
+        parent.keys.insert(index, key)
+        parent.children.insert(index + 1, right)
+        right.parent = parent
+        if len(parent.children) > self.order:
+            self._split_inner(parent)
+
+    def bulk_load(self, pairs: typing.Iterable[tuple[Key, typing.Any]]
+                  ) -> None:
+        """Insert many pairs (no special fast path; kept simple)."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    # -- deletion ------------------------------------------------------------
+
+    def delete(self, key: Key, value: typing.Any = ...) -> bool:
+        """Remove one value under ``key``.
+
+        With ``value`` omitted, any one stored value is removed.
+        Returns True if something was removed.  Underflowed leaves
+        borrow from or merge with siblings; the tree stays balanced.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        values = leaf.values[index]
+        if value is ...:
+            values.pop()
+        else:
+            try:
+                values.remove(value)
+            except ValueError:
+                return False
+        self._size -= 1
+        if values:
+            return True
+        leaf.keys.pop(index)
+        leaf.values.pop(index)
+        self._rebalance_leaf(leaf)
+        return True
+
+    def _min_keys(self) -> int:
+        return (self.order - 1) // 2
+
+    def _rebalance_leaf(self, leaf: _Leaf) -> None:
+        if leaf.parent is None or len(leaf.keys) >= self._min_keys():
+            return
+        parent = leaf.parent
+        index = parent.children.index(leaf)
+        # Borrow from left sibling.
+        if index > 0:
+            left = parent.children[index - 1]
+            assert isinstance(left, _Leaf)
+            if len(left.keys) > self._min_keys():
+                leaf.keys.insert(0, left.keys.pop())
+                leaf.values.insert(0, left.values.pop())
+                parent.keys[index - 1] = leaf.keys[0]
+                return
+        # Borrow from right sibling.
+        if index + 1 < len(parent.children):
+            right = parent.children[index + 1]
+            assert isinstance(right, _Leaf)
+            if len(right.keys) > self._min_keys():
+                leaf.keys.append(right.keys.pop(0))
+                leaf.values.append(right.values.pop(0))
+                parent.keys[index] = right.keys[0]
+                return
+        # Merge with a sibling.
+        if index > 0:
+            left = parent.children[index - 1]
+            assert isinstance(left, _Leaf)
+            self._merge_leaves(left, leaf, parent, index - 1)
+        else:
+            right = parent.children[index + 1]
+            assert isinstance(right, _Leaf)
+            self._merge_leaves(leaf, right, parent, index)
+
+    def _merge_leaves(self, left: _Leaf, right: _Leaf, parent: _Inner,
+                      key_index: int) -> None:
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.next = right.next
+        if right.next is not None:
+            right.next.prev = left
+        parent.keys.pop(key_index)
+        parent.children.pop(key_index + 1)
+        self._rebalance_inner(parent)
+
+    def _rebalance_inner(self, node: _Inner) -> None:
+        if node.parent is None:
+            if len(node.children) == 1:
+                self._root = node.children[0]
+                self._root.parent = None
+                self.height -= 1
+            return
+        if len(node.children) >= max(2, (self.order + 1) // 2):
+            return
+        parent = node.parent
+        index = parent.children.index(node)
+        if index > 0:
+            left = parent.children[index - 1]
+            assert isinstance(left, _Inner)
+            if len(left.children) > max(2, (self.order + 1) // 2):
+                node.keys.insert(0, parent.keys[index - 1])
+                parent.keys[index - 1] = left.keys.pop()
+                child = left.children.pop()
+                child.parent = node
+                node.children.insert(0, child)
+                return
+        if index + 1 < len(parent.children):
+            right = parent.children[index + 1]
+            assert isinstance(right, _Inner)
+            if len(right.children) > max(2, (self.order + 1) // 2):
+                node.keys.append(parent.keys[index])
+                parent.keys[index] = right.keys.pop(0)
+                child = right.children.pop(0)
+                child.parent = node
+                node.children.append(child)
+                return
+        if index > 0:
+            left = parent.children[index - 1]
+            assert isinstance(left, _Inner)
+            self._merge_inner(left, node, parent, index - 1)
+        else:
+            right = parent.children[index + 1]
+            assert isinstance(right, _Inner)
+            self._merge_inner(node, right, parent, index)
+
+    def _merge_inner(self, left: _Inner, right: _Inner, parent: _Inner,
+                     key_index: int) -> None:
+        left.keys.append(parent.keys[key_index])
+        left.keys.extend(right.keys)
+        for child in right.children:
+            child.parent = left
+        left.children.extend(right.children)
+        parent.keys.pop(key_index)
+        parent.children.pop(key_index + 1)
+        self._rebalance_inner(parent)
+
+    # -- internals ------------------------------------------------------------
+
+    def _leaves(self) -> typing.Iterator[_Leaf]:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        leaf: _Leaf | None = node
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        previous_key: Key | None = None
+        for leaf in self._leaves():
+            assert len(leaf.keys) == len(leaf.values)
+            for key, values in zip(leaf.keys, leaf.values):
+                assert values, f"empty value list under key {key!r}"
+                if previous_key is not None:
+                    assert key > previous_key, (
+                        f"leaf keys out of order: {previous_key!r} before "
+                        f"{key!r}")
+                previous_key = key
+        self._check_node_depth(self._root, 1)
+
+    def _check_node_depth(self, node: _Node, depth: int) -> None:
+        if isinstance(node, _Leaf):
+            assert depth == self.height, (
+                f"leaf at depth {depth}, height {self.height}")
+            return
+        assert isinstance(node, _Inner)
+        assert len(node.children) == len(node.keys) + 1
+        for child in node.children:
+            assert child.parent is node
+            self._check_node_depth(child, depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BPlusTree order={self.order} size={self._size} "
+                f"height={self.height}>")

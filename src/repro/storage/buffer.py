@@ -1,0 +1,72 @@
+"""An LRU buffer pool with hit/miss accounting.
+
+WiSS caches pages in a shared buffer pool; Gamma's operators mostly
+stream sequentially (covered by the disk model's readahead cost), but
+index traversals re-touch hot pages.  :class:`BufferPool` provides the
+classic fixed-frame LRU cache used by :class:`~repro.storage.btree
+.BPlusTree` lookups: the tree reports which page ids it touches, the
+pool decides which touches are physical reads.
+
+The pool is purely an accounting structure — callers charge the misses
+to a :class:`~repro.storage.disk.Disk` themselves.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache (page ids are opaque hashables)."""
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames < 1:
+            raise ValueError(f"num_frames must be >= 1, got {num_frames}")
+        self.num_frames = num_frames
+        self._frames: "collections.OrderedDict[typing.Hashable, None]" = (
+            collections.OrderedDict())
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, page_id: typing.Hashable) -> bool:
+        """Touch a page.  Returns True on a hit, False on a miss
+        (caller should charge one physical read for a miss)."""
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._frames) >= self.num_frames:
+            self._frames.popitem(last=False)
+            self.evictions += 1
+        self._frames[page_id] = None
+        return False
+
+    def access_many(self, page_ids: typing.Iterable[typing.Hashable]) -> int:
+        """Touch several pages; returns the number of misses."""
+        return sum(0 if self.access(p) else 1 for p in page_ids)
+
+    def invalidate(self, page_id: typing.Hashable) -> None:
+        """Drop a page from the pool (e.g. after a file is deleted)."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        self._frames.clear()
+
+    @property
+    def resident(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, page_id: typing.Hashable) -> bool:
+        return page_id in self._frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<BufferPool {self.resident}/{self.num_frames} "
+                f"hit_rate={self.hit_rate:.2f}>")

@@ -1,0 +1,45 @@
+"""The Wisconsin benchmark workload (Bitton, DeWitt & Turbyfill 1983).
+
+The paper's benchmark relations: sixteen attributes per tuple —
+thirteen 4-byte integers and three 52-byte strings, 208 bytes total —
+with the joinABprime query (100 000-tuple A joined with a
+10 000-tuple Bprime, producing 10 000 result tuples of 416 bytes)
+as the workhorse, plus the §4.4 variant where a normally-distributed
+attribute (mean 50 000, standard deviation 750) induces the UU / NU /
+UN / NN skew design space.
+"""
+
+from repro.wisconsin.distributions import (
+    SkewedAttributeStats,
+    normal_attribute_values,
+    skew_statistics,
+)
+from repro.wisconsin.generator import (
+    WISCONSIN_STRING_WIDTH,
+    WisconsinGenerator,
+    wisconsin_schema,
+)
+from repro.wisconsin.database import SKEW_KINDS, WisconsinDatabase
+from repro.wisconsin.queries import (
+    BENCHMARK_QUERIES,
+    JoinQuery,
+    join_abprime,
+    join_asel_b,
+    join_csel_asel_b,
+)
+
+__all__ = [
+    "BENCHMARK_QUERIES",
+    "JoinQuery",
+    "SKEW_KINDS",
+    "SkewedAttributeStats",
+    "WISCONSIN_STRING_WIDTH",
+    "WisconsinDatabase",
+    "WisconsinGenerator",
+    "join_abprime",
+    "join_asel_b",
+    "join_csel_asel_b",
+    "normal_attribute_values",
+    "skew_statistics",
+    "wisconsin_schema",
+]

@@ -1,0 +1,111 @@
+"""The Wisconsin benchmark join queries (§4 of the paper).
+
+``joinABprime`` is the query every figure and table of the paper
+reports; ``joinAselB`` and ``joinCselAselB`` were also run ("the
+trends were the same so those results are not presented") and are
+provided here for completeness — their selections execute at the scan
+sites, below the join, exactly as Gamma's optimizer places them.
+
+A :class:`JoinQuery` is a declarative bundle (attributes + predicates
++ expected cardinality arithmetic) that plugs into
+:func:`repro.core.joins.run_join` through :meth:`JoinQuery.spec_kwargs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+Row = typing.Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinQuery:
+    """A benchmark join query over an (outer, inner) relation pair."""
+
+    name: str
+    inner_attribute: str
+    outer_attribute: str
+    inner_predicate: typing.Callable[[Row], bool] | None = None
+    outer_predicate: typing.Callable[[Row], bool] | None = None
+    description: str = ""
+
+    def spec_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.core.joins.run_join`."""
+        kwargs: dict = {
+            "inner_attribute": self.inner_attribute,
+            "outer_attribute": self.outer_attribute,
+        }
+        if self.inner_predicate is not None:
+            kwargs["inner_predicate"] = self.inner_predicate
+        if self.outer_predicate is not None:
+            kwargs["outer_predicate"] = self.outer_predicate
+        return kwargs
+
+
+def join_abprime() -> JoinQuery:
+    """joinABprime: A (100 000 tuples) ⋈ Bprime (10 000 tuples) on
+    unique1 → 10 000 result tuples of 416 bytes (§4)."""
+    return JoinQuery(
+        name="joinABprime",
+        inner_attribute="unique1",
+        outer_attribute="unique1",
+        description="100k x 10k equi-join on unique1, 10k results")
+
+
+def join_asel_b(outer_cardinality: int = 100_000) -> JoinQuery:
+    """joinAselB: a 10 % selection on A joined with Bprime.
+
+    The selection (``unique1 < |A|/10``) runs at the disk sites during
+    the scan of A; 10 000 of A's tuples survive at full scale and
+    1 000 of them find a Bprime partner.
+    """
+    threshold = outer_cardinality // 10
+
+    def predicate(row: Row, _threshold: int = threshold) -> bool:
+        return row[0] < _threshold  # unique1 is attribute 0
+
+    return JoinQuery(
+        name="joinAselB",
+        inner_attribute="unique1",
+        outer_attribute="unique1",
+        outer_predicate=predicate,
+        description="10% selection of A joined with Bprime")
+
+
+def join_csel_asel_b(outer_cardinality: int = 100_000,
+                     inner_cardinality: int = 10_000) -> JoinQuery:
+    """joinCselAselB (two-relation stage): 10 % selections on both
+    inputs before the join.
+
+    The full benchmark query is a three-relation plan; the stage
+    implemented here is its expensive first join with both selections
+    pushed to the scans.  Chain the produced result relation into a
+    second :func:`run_join` to complete the plan (see
+    ``examples/benchmark_queries.py``).
+    """
+    outer_threshold = outer_cardinality // 10
+    inner_threshold = inner_cardinality // 10
+
+    def outer_predicate(row: Row,
+                        _threshold: int = outer_threshold) -> bool:
+        return row[0] < _threshold
+
+    def inner_predicate(row: Row,
+                        _threshold: int = inner_threshold) -> bool:
+        return row[0] < _threshold
+
+    return JoinQuery(
+        name="joinCselAselB",
+        inner_attribute="unique1",
+        outer_attribute="unique1",
+        outer_predicate=outer_predicate,
+        inner_predicate=inner_predicate,
+        description="10% selections on both inputs before joining")
+
+
+BENCHMARK_QUERIES: dict[str, typing.Callable[..., JoinQuery]] = {
+    "joinABprime": join_abprime,
+    "joinAselB": join_asel_b,
+    "joinCselAselB": join_csel_asel_b,
+}

@@ -1,0 +1,184 @@
+"""Tests for the four tuple-distribution policies (§2.2)."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import hashing
+from repro.catalog import (
+    Attribute,
+    HashPartitioning,
+    RangeKeyPartitioning,
+    RangeUniformPartitioning,
+    RoundRobinPartitioning,
+    Schema,
+    load_relation,
+)
+
+
+def schema():
+    return Schema([Attribute.integer("key"),
+                   Attribute.integer("other")], name="t")
+
+
+def rows(n, key=lambda i: i):
+    return [(key(i), i * 10) for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_balance_within_one(self):
+        relation = load_relation("t", schema(), rows(10),
+                                 RoundRobinPartitioning(), 4)
+        sizes = [len(f) for f in relation.fragments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rotation_order(self):
+        relation = load_relation("t", schema(), rows(6),
+                                 RoundRobinPartitioning(), 3)
+        assert [r[0] for r in relation.fragments[0]] == [0, 3]
+        assert [r[0] for r in relation.fragments[1]] == [1, 4]
+        assert [r[0] for r in relation.fragments[2]] == [2, 5]
+
+    def test_begin_load_resets_counter(self):
+        strategy = RoundRobinPartitioning()
+        load_relation("a", schema(), rows(5), strategy, 3)
+        relation = load_relation("b", schema(), rows(3), strategy, 3)
+        # Counter reset: first tuple of the second load goes to site 0.
+        assert relation.fragments[0][0][0] == 0
+
+    def test_no_partitioning_attribute(self):
+        assert RoundRobinPartitioning().attribute is None
+
+
+class TestHashPartitioning:
+    def test_placement_matches_hash(self):
+        relation = load_relation("t", schema(), rows(100),
+                                 HashPartitioning("key"), 4)
+        for site, fragment in enumerate(relation.fragments):
+            for row in fragment:
+                assert hashing.hash_value(row[0]) % 4 == site
+
+    def test_deterministic_across_loads(self):
+        a = load_relation("a", schema(), rows(50),
+                          HashPartitioning("key"), 4)
+        b = load_relation("b", schema(), rows(50),
+                          HashPartitioning("key"), 4)
+        assert a.fragments == b.fragments
+
+    def test_consecutive_keys_exact_balance_power_of_two(self):
+        relation = load_relation("t", schema(), rows(800),
+                                 HashPartitioning("key"), 8)
+        assert {len(f) for f in relation.fragments} == {100}
+
+    def test_describe(self):
+        assert HashPartitioning("key").describe() == "hashed(key)"
+
+
+class TestRangeKeyPartitioning:
+    def test_boundaries_respected(self):
+        strategy = RangeKeyPartitioning("key", [10, 20])
+        relation = load_relation("t", schema(), rows(30), strategy, 3)
+        assert all(r[0] < 10 for r in relation.fragments[0])
+        assert all(10 <= r[0] < 20 for r in relation.fragments[1])
+        assert all(r[0] >= 20 for r in relation.fragments[2])
+
+    def test_boundary_value_goes_right(self):
+        strategy = RangeKeyPartitioning("key", [10])
+        relation = load_relation("t", schema(), [(10, 0)], strategy, 2)
+        assert len(relation.fragments[1]) == 1
+
+    def test_wrong_boundary_count(self):
+        with pytest.raises(ValueError, match="needs 2 boundaries"):
+            load_relation("t", schema(), rows(5),
+                          RangeKeyPartitioning("key", [10]), 3)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            RangeKeyPartitioning("key", [20, 10])
+
+    def test_duplicate_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            RangeKeyPartitioning("key", [10, 10])
+
+
+class TestRangeUniform:
+    def test_balances_skewed_data(self):
+        """The §4.4 requirement: equal tuple counts per disk despite
+        heavily skewed values (here: clustered triplicate keys —
+        hash partitioning would misbalance these badly)."""
+        skewed = rows(999, key=lambda i: 3000 + i // 3)
+        relation = load_relation("t", schema(), skewed,
+                                 RangeUniformPartitioning("key"), 4)
+        sizes = [len(f) for f in relation.fragments]
+        assert max(sizes) - min(sizes) <= 6
+
+    def test_uniform_data_near_perfect(self):
+        relation = load_relation("t", schema(), rows(1000),
+                                 RangeUniformPartitioning("key"), 4)
+        sizes = [len(f) for f in relation.fragments]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_ranges_are_contiguous(self):
+        relation = load_relation("t", schema(), rows(100),
+                                 RangeUniformPartitioning("key"), 4)
+        previous_max = None
+        for fragment in relation.fragments:
+            keys = [r[0] for r in fragment]
+            if previous_max is not None and keys:
+                assert min(keys) > previous_max
+            if keys:
+                previous_max = max(keys)
+
+    def test_use_before_load_rejected(self):
+        strategy = RangeUniformPartitioning("key")
+        with pytest.raises(RuntimeError, match="begin_load"):
+            strategy.site_of((1, 2), schema(), 4)
+        with pytest.raises(RuntimeError):
+            strategy.boundaries
+
+    def test_massive_duplicates_still_legal(self):
+        """All-identical keys cannot be balanced by ranges; every
+        boundary collapses but placement must stay in range."""
+        identical = [(7, i) for i in range(100)]
+        relation = load_relation("t", schema(), identical,
+                                 RangeUniformPartitioning("key"), 4)
+        assert relation.cardinality == 100
+
+
+class TestLoader:
+    def test_all_tuples_placed_exactly_once(self):
+        data = rows(123)
+        relation = load_relation("t", schema(), data,
+                                 HashPartitioning("key"), 5)
+        collected = sorted(r for f in relation.fragments for r in f)
+        assert collected == sorted(data)
+
+    def test_validate_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            load_relation("t", schema(), [("bad", 1)],
+                          RoundRobinPartitioning(), 2, validate=True)
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError):
+            load_relation("t", schema(), rows(5),
+                          RoundRobinPartitioning(), 0)
+
+
+@given(n=st.integers(min_value=0, max_value=300),
+       sites=st.integers(min_value=1, max_value=9),
+       strategy_kind=st.sampled_from(["rr", "hash", "uniform"]))
+@settings(max_examples=80, deadline=None)
+def test_loader_conservation_property(n, sites, strategy_kind):
+    """No strategy ever loses, duplicates, or misplaces a tuple."""
+    data = rows(n)
+    strategy = {
+        "rr": RoundRobinPartitioning,
+        "hash": lambda: HashPartitioning("key"),
+        "uniform": lambda: RangeUniformPartitioning("key"),
+    }[strategy_kind]()
+    relation = load_relation("t", schema(), data, strategy, sites)
+    assert relation.num_fragments == sites
+    collected = sorted(r for f in relation.fragments for r in f)
+    assert collected == sorted(data)

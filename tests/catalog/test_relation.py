@@ -1,0 +1,80 @@
+"""Tests for Relation size arithmetic and metadata."""
+
+import pytest
+
+from repro.catalog import (
+    Attribute,
+    HashPartitioning,
+    Relation,
+    RoundRobinPartitioning,
+    Schema,
+    load_relation,
+)
+
+
+def schema():
+    return Schema([Attribute.integer("k"), Attribute.string("s", 46)],
+                  name="t")  # 50-byte tuples
+
+
+def make(fragments):
+    return Relation("t", schema(), fragments)
+
+
+class TestSizes:
+    def test_cardinality(self):
+        relation = make([[(1, "a"), (2, "b")], [(3, "c")]])
+        assert relation.cardinality == 3
+        assert relation.num_fragments == 2
+
+    def test_total_bytes(self):
+        relation = make([[(1, "a")] * 10, []])
+        assert relation.tuple_bytes == 50
+        assert relation.total_bytes == 500
+
+    def test_fragment_pages(self):
+        # 8192-byte pages hold 163 fifty-byte tuples.
+        relation = make([[(i, "x") for i in range(164)], []])
+        assert relation.fragment_pages(0, 8192) == 2
+        assert relation.fragment_pages(1, 8192) == 0
+        assert relation.total_pages(8192) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("t", schema(), [])
+
+
+class TestMetadata:
+    def test_all_rows_covers_fragments(self):
+        relation = make([[(1, "a")], [(2, "b")], [(3, "c")]])
+        assert sorted(relation.all_rows()) == [(1, "a"), (2, "b"),
+                                               (3, "c")]
+
+    def test_attribute_index(self):
+        assert make([[]]).attribute_index("s") == 1
+
+    def test_partitioning_attribute(self):
+        relation = load_relation("t", schema(), [(1, "a")],
+                                 HashPartitioning("k"), 2)
+        assert relation.partitioning_attribute == "k"
+        round_robin = load_relation("t", schema(), [(1, "a")],
+                                    RoundRobinPartitioning(), 2)
+        assert round_robin.partitioning_attribute is None
+
+    def test_is_hash_partitioned_on(self):
+        relation = load_relation("t", schema(), [(1, "a")],
+                                 HashPartitioning("k"), 2)
+        assert relation.is_hash_partitioned_on("k")
+        assert not relation.is_hash_partitioned_on("s")
+        round_robin = load_relation("t", schema(), [(1, "a")],
+                                    RoundRobinPartitioning(), 2)
+        assert not round_robin.is_hash_partitioned_on("k")
+
+    def test_paper_relation_sizes(self):
+        """The §4 arithmetic: 100k Wisconsin tuples ~ 20 MB,
+        10k ~ 2 MB."""
+        from repro.wisconsin import wisconsin_schema
+        big = Relation("A", wisconsin_schema(),
+                       [[(0,) * 13 + ("",) * 3] * 12_500] * 8)
+        assert big.cardinality == 100_000
+        assert big.total_bytes == 20_800_000

@@ -1,0 +1,105 @@
+"""Tests for attribute/schema definitions."""
+
+import pytest
+
+from repro.catalog import Attribute, AttributeKind, Schema
+
+
+class TestAttribute:
+    def test_integer_is_four_bytes(self):
+        attr = Attribute.integer("unique1")
+        assert attr.width == 4
+        assert attr.kind is AttributeKind.INTEGER
+
+    def test_string_default_width(self):
+        assert Attribute.string("stringu1").width == 52
+
+    def test_integer_width_enforced(self):
+        with pytest.raises(ValueError, match="4 bytes"):
+            Attribute("bad", AttributeKind.INTEGER, 8)
+
+    def test_positive_width_required(self):
+        with pytest.raises(ValueError, match="positive width"):
+            Attribute.string("empty", 0)
+
+
+class TestSchema:
+    def make(self):
+        return Schema([Attribute.integer("a"), Attribute.integer("b"),
+                       Attribute.string("s", 10)], name="t")
+
+    def test_tuple_bytes(self):
+        assert self.make().tuple_bytes == 18
+
+    def test_index_of(self):
+        schema = self.make()
+        assert schema.index_of("a") == 0
+        assert schema.index_of("s") == 2
+
+    def test_index_of_missing_names_candidates(self):
+        with pytest.raises(KeyError, match="no attribute 'zz'"):
+            self.make().index_of("zz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Attribute.integer("x"), Attribute.integer("x")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_has_attribute(self):
+        schema = self.make()
+        assert schema.has_attribute("b")
+        assert not schema.has_attribute("c")
+
+    def test_equality_by_attributes(self):
+        assert self.make() == self.make()
+        other = Schema([Attribute.integer("a")])
+        assert self.make() != other
+
+    def test_iteration_order(self):
+        assert [a.name for a in self.make()] == ["a", "b", "s"]
+
+
+class TestConcat:
+    def test_widths_add(self):
+        left = Schema([Attribute.integer("a")], name="l")
+        right = Schema([Attribute.integer("b"),
+                        Attribute.string("s", 8)], name="r")
+        joined = left.concat(right)
+        assert joined.tuple_bytes == 16
+        assert len(joined) == 3
+
+    def test_collision_prefixed(self):
+        left = Schema([Attribute.integer("unique1")], name="A")
+        right = Schema([Attribute.integer("unique1")], name="B")
+        joined = left.concat(right)
+        assert [a.name for a in joined] == ["unique1", "B_unique1"]
+
+    def test_result_matches_paper_width(self):
+        """joinABprime result tuples are 416 bytes (2 x 208)."""
+        from repro.wisconsin import wisconsin_schema
+        schema = wisconsin_schema()
+        assert schema.tuple_bytes == 208
+        assert schema.concat(schema).tuple_bytes == 416
+
+
+class TestValidateRow:
+    def test_accepts_matching(self):
+        schema = Schema([Attribute.integer("a"),
+                         Attribute.string("s", 4)])
+        schema.validate_row((1, "abcd"))
+
+    def test_rejects_wrong_arity(self):
+        schema = Schema([Attribute.integer("a")])
+        with pytest.raises(ValueError, match="fields"):
+            schema.validate_row((1, 2))
+
+    def test_rejects_wrong_types(self):
+        schema = Schema([Attribute.integer("a"),
+                         Attribute.string("s", 4)])
+        with pytest.raises(ValueError, match="expects int"):
+            schema.validate_row(("x", "abcd"))
+        with pytest.raises(ValueError, match="expects str"):
+            schema.validate_row((1, 2))

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Tests run at reduced Wisconsin scales (hundreds to a few thousand
+tuples) so the whole suite stays fast while exercising exactly the
+code paths the full-scale experiments use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs import CostModel
+from repro.engine.machine import GammaMachine
+from repro.sim import Simulator
+from repro.wisconsin.database import WisconsinDatabase
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def machine() -> GammaMachine:
+    """A small local machine: 4 disk nodes + scheduler."""
+    return GammaMachine.local(num_disk_nodes=4)
+
+
+@pytest.fixture
+def remote_machine() -> GammaMachine:
+    """4 disk nodes + 4 diskless join nodes + scheduler."""
+    return GammaMachine.remote(num_disk_nodes=4, num_join_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> WisconsinDatabase:
+    """2 000 x 200 joinABprime over 4 sites (HPJA)."""
+    return WisconsinDatabase.joinabprime(4, scale=0.02, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_db_nonhpja() -> WisconsinDatabase:
+    return WisconsinDatabase.joinabprime(4, scale=0.02, seed=7,
+                                         hpja=False)
+
+
+@pytest.fixture(scope="session")
+def tiny_skew_db() -> WisconsinDatabase:
+    """NU skew database at reduced scale."""
+    return WisconsinDatabase.skewed(4, "NU", scale=0.05, seed=7)

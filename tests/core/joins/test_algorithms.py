@@ -1,0 +1,277 @@
+"""Behavioural tests for each of the four parallel join drivers.
+
+Correctness (result equivalence) is covered exhaustively by
+``test_join_equivalence.py``; these tests pin down the *mechanisms*
+the paper describes: phase structure, overflow behaviour, bucket
+counts, short-circuit fractions, filter effects.
+"""
+
+import pytest
+
+from repro.core.joins import JoinSpec, run_join
+from repro.core.joins.base import JoinConfigError
+from repro.core.joins.reference import assert_same_result
+from repro.engine.machine import GammaMachine
+
+
+def join(db, algorithm, ratio, num_disks=4, configuration="local",
+         **kwargs):
+    if configuration == "remote":
+        machine = GammaMachine.remote(num_disks, num_disks)
+    else:
+        machine = GammaMachine.local(num_disks)
+    return run_join(algorithm, machine, db.outer, db.inner,
+                    join_attribute="unique1", memory_ratio=ratio,
+                    configuration=configuration, **kwargs)
+
+
+class TestSimpleHash:
+    def test_no_overflow_at_full_memory(self, tiny_db):
+        result = join(tiny_db, "simple", 1.0)
+        assert result.overflow_events == 0
+        assert result.overflow_levels == 0
+        assert result.result_tuples == tiny_db.expected_result_tuples
+
+    def test_overflow_recursion_at_low_memory(self, tiny_db):
+        result = join(tiny_db, "simple", 0.25)
+        assert result.overflow_events > 0
+        assert result.overflow_levels >= 1
+        assert_same_result(result.result_rows,
+                           tiny_db.expected_result_rows)
+
+    def test_phase_structure(self, tiny_db):
+        result = join(tiny_db, "simple", 1.0)
+        names = [p.name for p in result.phases]
+        assert names == ["simple.build", "simple.probe"]
+
+    def test_recursion_adds_phases(self, tiny_db):
+        result = join(tiny_db, "simple", 0.25)
+        names = [p.name for p in result.phases]
+        assert "simple.ov1.build" in names
+        assert "simple.ov1.probe" in names
+
+    def test_degrades_rapidly_below_half_memory(self, tiny_db):
+        mid = join(tiny_db, "simple", 0.5).response_time
+        low = join(tiny_db, "simple", 0.2).response_time
+        assert low > 1.3 * mid
+
+    def test_depth_limit_enforced(self, tiny_db):
+        from repro.core.hash_table import JoinOverflowError
+        with pytest.raises(JoinOverflowError, match="recursion"):
+            join(tiny_db, "simple", 0.05, max_overflow_depth=1)
+
+
+class TestGrace:
+    def test_bucket_count_follows_memory(self, tiny_db):
+        assert join(tiny_db, "grace", 1.0).num_buckets == 1
+        assert join(tiny_db, "grace", 0.5).num_buckets == 2
+        assert join(tiny_db, "grace", 0.25).num_buckets == 4
+
+    def test_writes_both_relations_even_at_full_memory(self, tiny_db):
+        """§3.3: bucket-forming is completely separated — both
+        relations hit the disk even with enough memory."""
+        result = join(tiny_db, "grace", 1.0)
+        staged = result.bucket_forming_writes.tuples_received
+        assert staged == (tiny_db.outer.cardinality
+                          + tiny_db.inner.cardinality)
+
+    def test_phases_per_bucket(self, tiny_db):
+        result = join(tiny_db, "grace", 0.5)
+        names = [p.name for p in result.phases]
+        assert names[:2] == ["grace.formR", "grace.formS"]
+        assert "grace.b0.build" in names and "grace.b1.probe" in names
+
+    def test_relatively_insensitive_to_memory(self, tiny_db):
+        """§4.1: Grace only adds small scheduling overhead per
+        bucket."""
+        # At reduced scale the fixed per-bucket scheduling
+        # overhead looms larger than at paper scale, so the bound is
+        # generous; the full-scale figure shows ~1.15x.
+        high = join(tiny_db, "grace", 1.0).response_time
+        low = join(tiny_db, "grace", 0.25).response_time
+        assert low < 3.0 * high
+
+    def test_hpja_forming_writes_all_local(self, tiny_db):
+        result = join(tiny_db, "grace", 0.5)
+        assert result.local_write_fraction == pytest.approx(1.0)
+
+    def test_nonhpja_forming_writes_one_in_d(self, tiny_db_nonhpja):
+        result = join(tiny_db_nonhpja, "grace", 0.5)
+        assert result.local_write_fraction == pytest.approx(
+            1 / 4, abs=0.05)
+
+    def test_pinned_bucket_count(self, tiny_db):
+        result = join(tiny_db, "grace", 0.5, num_buckets=5)
+        assert result.num_buckets == 5
+        assert_same_result(result.result_rows,
+                           tiny_db.expected_result_rows)
+
+
+class TestHybrid:
+    def test_equals_simple_at_full_memory(self, tiny_db):
+        """§4.1: 'when the smaller relation fits entirely in memory
+        (at 1.0), Hybrid and Simple have identical execution
+        times'."""
+        hybrid = join(tiny_db, "hybrid", 1.0)
+        simple = join(tiny_db, "simple", 1.0)
+        assert hybrid.response_time == pytest.approx(
+            simple.response_time, rel=1e-9)
+
+    def test_faster_than_simple_at_half_memory(self, tiny_db):
+        """§4.1: at 0.5 Simple sends everything to the join sites
+        first while Hybrid writes bucket 2 directly."""
+        hybrid = join(tiny_db, "hybrid", 0.5)
+        simple = join(tiny_db, "simple", 0.5)
+        assert hybrid.response_time < simple.response_time
+
+    def test_dominates_grace_everywhere(self, tiny_db):
+        for ratio in (1.0, 0.5, 0.25):
+            hybrid = join(tiny_db, "hybrid", ratio).response_time
+            grace = join(tiny_db, "grace", ratio).response_time
+            assert hybrid < grace
+
+    def test_approaches_grace_as_memory_shrinks(self, tiny_db):
+        gap_high = (join(tiny_db, "grace", 1.0).response_time
+                    - join(tiny_db, "hybrid", 1.0).response_time)
+        gap_low = (join(tiny_db, "grace", 0.2).response_time
+                   - join(tiny_db, "hybrid", 0.2).response_time)
+        assert gap_low < gap_high
+
+    def test_stages_only_n_minus_one_buckets(self, tiny_db):
+        result = join(tiny_db, "hybrid", 0.5)
+        total = tiny_db.outer.cardinality + tiny_db.inner.cardinality
+        staged = result.bucket_forming_writes.tuples_received
+        assert 0.3 * total < staged < 0.7 * total
+
+    def test_phase_structure(self, tiny_db):
+        result = join(tiny_db, "hybrid", 0.5)
+        names = [p.name for p in result.phases]
+        assert names[:2] == ["hybrid.formR", "hybrid.formS"]
+        assert "hybrid.b1.build" in names
+
+    def test_one_bucket_has_no_forming_writes(self, tiny_db):
+        result = join(tiny_db, "hybrid", 1.0)
+        assert result.bucket_forming_writes.tuples_received == 0
+
+
+class TestSortMerge:
+    def test_rejects_remote(self, tiny_db):
+        with pytest.raises(JoinConfigError, match="diskless"):
+            join(tiny_db, "sort-merge", 1.0, configuration="remote")
+
+    def test_phase_structure(self, tiny_db):
+        result = join(tiny_db, "sort-merge", 1.0)
+        names = [p.name for p in result.phases]
+        assert names == ["sort-merge.partR", "sort-merge.sortR",
+                         "sort-merge.partS", "sort-merge.sortS",
+                         "sort-merge.merge"]
+
+    def test_insensitive_to_join_hash_tables(self, tiny_db):
+        """Sort-merge has no hash tables: no overflow, no chains."""
+        result = join(tiny_db, "sort-merge", 0.2)
+        assert result.overflow_events == 0
+        assert result.max_chain == 0
+        assert result.num_buckets is None
+
+    def test_memory_steps_from_merge_passes(self, tiny_db):
+        """Less sort memory eventually costs another merge pass."""
+        high = join(tiny_db, "sort-merge", 1.0)
+        low = join(tiny_db, "sort-merge", 0.05)
+        assert (low.counters["sort_S_passes"]
+                >= high.counters["sort_S_passes"])
+
+    def test_duplicate_outer_values(self, machine, tiny_db):
+        """Merge join backs up over duplicate values correctly."""
+        result = run_join(
+            "sort-merge", machine, tiny_db.outer, tiny_db.inner,
+            inner_attribute="unique1", outer_attribute="fiftyPercent",
+            memory_ratio=1.0)
+        from repro.core.joins.reference import reference_join
+        expected = reference_join(tiny_db.outer, tiny_db.inner,
+                                  "fiftyPercent", "unique1")
+        assert_same_result(result.result_rows, expected)
+
+
+class TestBitFilters:
+    @pytest.mark.parametrize("algorithm", ["simple", "grace",
+                                           "hybrid", "sort-merge"])
+    def test_filters_never_change_results(self, tiny_db, algorithm):
+        result = join(tiny_db, algorithm, 0.5, bit_filters=True)
+        assert_same_result(result.result_rows,
+                           tiny_db.expected_result_rows)
+
+    @pytest.mark.parametrize("algorithm", ["simple", "grace",
+                                           "hybrid", "sort-merge"])
+    def test_filters_reduce_response_time(self, tiny_db, algorithm):
+        plain = join(tiny_db, algorithm, 0.5).response_time
+        filtered = join(tiny_db, algorithm, 0.5,
+                        bit_filters=True).response_time
+        assert filtered < plain
+
+    def test_filter_counters_populated(self, tiny_db):
+        result = join(tiny_db, "hybrid", 0.5, bit_filters=True)
+        assert result.counters["filter_tests"] > 0
+        assert result.counters["filter_eliminated"] > 0
+
+    def test_forming_filter_extension_stages_less(self, tiny_db):
+        """The paper's proposed extension eliminates outer tuples
+        before they are staged to disk — staged volume must shrink
+        (response-time gains show at full scale; see the ablation
+        bench)."""
+        joining_only = join(tiny_db, "grace", 0.25, bit_filters=True)
+        extended = join(tiny_db, "grace", 0.25,
+                        filter_policy="with-bucket-forming")
+        assert (extended.bucket_forming_writes.tuples_received
+                < joining_only.bucket_forming_writes.tuples_received)
+        assert extended.counters.get("forming_filter_eliminated",
+                                     0) > 0
+        assert_same_result(extended.result_rows,
+                           tiny_db.expected_result_rows)
+
+
+class TestDriverValidation:
+    def test_machine_reuse_rejected(self, tiny_db):
+        machine = GammaMachine.local(4)
+        run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                 join_attribute="unique1", memory_ratio=1.0)
+        with pytest.raises(JoinConfigError, match="already run"):
+            run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1", memory_ratio=1.0)
+
+    def test_fragment_count_mismatch(self, tiny_db):
+        machine = GammaMachine.local(5)
+        with pytest.raises(JoinConfigError, match="fragments"):
+            run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1", memory_ratio=1.0)
+
+    def test_unknown_algorithm(self, machine, tiny_db):
+        with pytest.raises(ValueError, match="unknown join algorithm"):
+            run_join("merge-sort", machine, tiny_db.outer,
+                     tiny_db.inner, join_attribute="unique1",
+                     memory_ratio=1.0)
+
+    def test_spec_and_kwargs_exclusive(self, machine, tiny_db):
+        spec = JoinSpec(memory_ratio=1.0)
+        with pytest.raises(ValueError, match="not both"):
+            run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1", spec=spec)
+
+    def test_memory_required(self, machine, tiny_db):
+        with pytest.raises(JoinConfigError, match="memory"):
+            run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1")
+
+    def test_too_little_memory_for_one_tuple(self, machine, tiny_db):
+        with pytest.raises(JoinConfigError, match="less than one"):
+            run_join("hybrid", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1", memory_bytes=100)
+
+    def test_driver_single_use(self, tiny_db):
+        from repro.core.joins import ALGORITHMS
+        machine = GammaMachine.local(4)
+        driver = ALGORITHMS["simple"](
+            machine, tiny_db.outer, tiny_db.inner,
+            JoinSpec(memory_ratio=1.0))
+        driver.run()
+        with pytest.raises(JoinConfigError, match="exactly one"):
+            driver.run()

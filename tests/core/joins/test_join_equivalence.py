@@ -1,0 +1,241 @@
+"""THE correctness property: every parallel algorithm computes exactly
+the reference join, under every configuration.
+
+These tests sweep randomized relations (duplicates, skew, empty
+sides), memory ratios (deep overflow recursion included), machine
+configurations, and filter settings, and compare the collected result
+multiset against a plain dictionary join.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    Attribute,
+    HashPartitioning,
+    RangeUniformPartitioning,
+    RoundRobinPartitioning,
+    Schema,
+    load_relation,
+)
+from repro.core.joins import run_join
+from repro.core.joins.reference import (
+    assert_same_result,
+    reference_join,
+)
+from repro.engine.machine import GammaMachine
+
+SCHEMA = Schema([Attribute.integer("k"), Attribute.integer("payload")],
+                name="rand")
+
+
+def build_relation(name, keys, num_sites, strategy_kind="hash"):
+    rows = [(key, index) for index, key in enumerate(keys)]
+    strategy = {
+        "hash": lambda: HashPartitioning("k"),
+        "rr": RoundRobinPartitioning,
+        "range": lambda: RangeUniformPartitioning("k"),
+    }[strategy_kind]()
+    return load_relation(name, SCHEMA, rows, strategy, num_sites)
+
+
+def run_and_check(outer, inner, algorithm, num_disks, **kwargs):
+    """Run one join and verify equivalence with the reference.
+
+    A :class:`JoinOverflowError` is tolerated only when the data is
+    genuinely infeasible for a hash join — one value's inner
+    duplicates alone filling a site's table (the paper's poison case;
+    §5 recommends sort-merge there).  Returns None in that case.
+    """
+    import collections
+
+    from repro.core.hash_table import JoinOverflowError
+
+    configuration = kwargs.get("configuration", "local")
+    if configuration == "remote":
+        machine = GammaMachine.remote(num_disks, num_disks)
+    else:
+        machine = GammaMachine.local(num_disks)
+    # Tiny generated relations can make ratio * |R| smaller than one
+    # tuple; give the join at least one tuple of memory (a real
+    # machine always has at least a page).
+    ratio = kwargs.pop("memory_ratio", None)
+    if ratio is not None and "memory_bytes" not in kwargs:
+        kwargs["memory_bytes"] = max(
+            inner.schema.tuple_bytes,
+            round(ratio * max(1, inner.total_bytes)))
+    try:
+        result = run_join(algorithm, machine, outer, inner,
+                          join_attribute="k", **kwargs)
+    except JoinOverflowError:
+        assert algorithm != "sort-merge"
+        memory = kwargs.get("memory_bytes",
+                            inner.total_bytes)
+        per_site_capacity = max(
+            1, int(memory * 1.1 / num_disks
+                   // inner.schema.tuple_bytes))
+        key = inner.schema.index_of("k")
+        counts = collections.Counter(
+            row[key] for row in inner.all_rows())
+        max_duplicates = max(counts.values(), default=0)
+        assert max_duplicates >= per_site_capacity, (
+            "hash join refused feasible data")
+        return None
+    expected = reference_join(outer, inner, "k", "k")
+    assert_same_result(result.result_rows, expected)
+    assert result.result_tuples == len(expected)
+    return result
+
+
+key_lists = st.lists(st.integers(min_value=0, max_value=60),
+                     max_size=120)
+
+
+@pytest.mark.parametrize("algorithm",
+                         ["simple", "grace", "hybrid", "sort-merge"])
+@given(inner_keys=key_lists, outer_keys=key_lists,
+       memory_ratio=st.sampled_from([1.0, 0.6, 0.4, 0.25]),
+       bit_filters=st.booleans(),
+       strategy=st.sampled_from(["hash", "rr", "range"]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_algorithm_matches_reference(algorithm, inner_keys,
+                                     outer_keys, memory_ratio,
+                                     bit_filters, strategy):
+    """Randomized equivalence across data, memory, filters, and
+    loading strategy."""
+    num_disks = 3
+    inner = build_relation("R", inner_keys, num_disks, strategy)
+    outer = build_relation("S", outer_keys, num_disks, strategy)
+    run_and_check(outer, inner, algorithm, num_disks,
+                  memory_ratio=memory_ratio, bit_filters=bit_filters)
+
+
+@pytest.mark.parametrize("algorithm", ["simple", "grace", "hybrid"])
+@given(inner_keys=key_lists, outer_keys=key_lists,
+       memory_ratio=st.sampled_from([1.0, 0.4]))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_remote_configuration_matches_reference(algorithm, inner_keys,
+                                                outer_keys,
+                                                memory_ratio):
+    num_disks = 2
+    inner = build_relation("R", inner_keys, num_disks)
+    outer = build_relation("S", outer_keys, num_disks)
+    run_and_check(outer, inner, algorithm, num_disks,
+                  memory_ratio=memory_ratio, configuration="remote")
+
+
+@pytest.mark.parametrize("algorithm",
+                         ["simple", "grace", "hybrid", "sort-merge"])
+@given(hot_fraction=st.floats(min_value=0.0, max_value=1.0),
+       memory_ratio=st.sampled_from([1.0, 0.3]))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_duplicate_skew_matches_reference(algorithm, hot_fraction,
+                                          memory_ratio):
+    """Heavily duplicated join values (hash chains, uneven sites).
+
+    When a single value's duplicates alone exceed every hash-join
+    memory (the paper's poison case — §5 recommends sort-merge), the
+    hash algorithms may legitimately refuse with JoinOverflowError;
+    run_and_check validates that escape hatch, any other data must
+    join exactly."""
+    num_disks = 3
+    hot = int(100 * hot_fraction)
+    inner_keys = [7] * hot + list(range(100 - hot))
+    outer_keys = [7] * (hot // 2) + list(range(0, 150, 2))
+    inner = build_relation("R", inner_keys, num_disks)
+    outer = build_relation("S", outer_keys, num_disks)
+    run_and_check(outer, inner, algorithm, num_disks,
+                  memory_ratio=memory_ratio)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_empty_inner(self, algorithm):
+        inner = build_relation("R", [], 2)
+        outer = build_relation("S", [1, 2, 3], 2)
+        result = run_and_check(outer, inner, algorithm, 2,
+                               memory_ratio=1.0)
+        assert result.result_tuples == 0
+
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_empty_outer(self, algorithm):
+        inner = build_relation("R", [1, 2], 2)
+        outer = build_relation("S", [], 2)
+        run_and_check(outer, inner, algorithm, 2, memory_ratio=1.0)
+
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_both_empty(self, algorithm):
+        inner = build_relation("R", [], 2)
+        outer = build_relation("S", [], 2)
+        run_and_check(outer, inner, algorithm, 2, memory_ratio=1.0)
+
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_single_tuple_each(self, algorithm):
+        inner = build_relation("R", [42], 2)
+        outer = build_relation("S", [42], 2)
+        result = run_and_check(outer, inner, algorithm, 2,
+                               memory_ratio=1.0)
+        assert result.result_tuples == 1
+
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_no_matches_at_all(self, algorithm):
+        inner = build_relation("R", list(range(1, 60, 2)), 2)
+        outer = build_relation("S", list(range(0, 60, 2)), 2)
+        result = run_and_check(outer, inner, algorithm, 2,
+                               memory_ratio=0.5)
+        assert result.result_tuples == 0
+
+    def test_deep_overflow_recursion_simple(self):
+        """Memory for barely a handful of tuples per site forces
+        multiple recursion levels (Simple only — Grace/Hybrid avoid
+        overflow by adding buckets, which is their whole point)."""
+        inner = build_relation("R", list(range(150)), 2)
+        outer = build_relation("S", list(range(0, 300, 2)), 2)
+        result = run_and_check(outer, inner, "simple", 2,
+                               memory_ratio=0.08)
+        assert result.overflow_levels >= 2
+
+    @pytest.mark.parametrize("algorithm", ["grace", "hybrid"])
+    def test_many_buckets_instead_of_overflow(self, algorithm):
+        """The bucketed algorithms answer scarce memory with buckets,
+        not recursion."""
+        inner = build_relation("R", list(range(150)), 2)
+        outer = build_relation("S", list(range(0, 300, 2)), 2)
+        result = run_and_check(outer, inner, algorithm, 2,
+                               memory_ratio=0.08)
+        assert result.num_buckets >= 10
+        assert result.overflow_levels == 0
+
+    def test_wisconsin_db_every_algorithm(self, tiny_db):
+        for algorithm in ("simple", "grace", "hybrid", "sort-merge"):
+            machine = GammaMachine.local(4)
+            result = run_join(algorithm, machine, tiny_db.outer,
+                              tiny_db.inner, join_attribute="unique1",
+                              memory_ratio=0.4, bit_filters=True)
+            assert_same_result(result.result_rows,
+                               tiny_db.expected_result_rows)
+
+    def test_skewed_db_every_algorithm(self, tiny_skew_db):
+        db = tiny_skew_db
+        for algorithm in ("simple", "grace", "hybrid", "sort-merge"):
+            machine = GammaMachine.local(4)
+            result = run_join(algorithm, machine, db.outer, db.inner,
+                              inner_attribute=db.inner_attribute,
+                              outer_attribute=db.outer_attribute,
+                              memory_ratio=0.3, capacity_slack=1.02)
+            assert_same_result(result.result_rows,
+                               db.expected_result_rows)

@@ -1,0 +1,70 @@
+"""Tests for the reference join and result comparison helpers."""
+
+import pytest
+
+from repro.catalog import Attribute, Relation, Schema
+from repro.core.joins.reference import (
+    assert_same_result,
+    reference_join,
+    result_multiset,
+)
+
+
+def relation(name, rows, attrs=("k", "v")):
+    schema = Schema([Attribute.integer(a) for a in attrs], name=name)
+    return Relation(name, schema, [rows])
+
+
+class TestReferenceJoin:
+    def test_simple_match(self):
+        inner = relation("r", [(1, 10), (2, 20)])
+        outer = relation("s", [(1, 100), (3, 300)])
+        result = reference_join(outer, inner, "k", "k")
+        assert result == [(1, 10, 1, 100)]
+
+    def test_duplicates_cross_product(self):
+        inner = relation("r", [(5, 1), (5, 2)])
+        outer = relation("s", [(5, 9), (5, 8)])
+        result = reference_join(outer, inner, "k", "k")
+        assert len(result) == 4
+
+    def test_different_attributes(self):
+        inner = relation("r", [(1, 42)])
+        outer = relation("s", [(42, 7)])
+        result = reference_join(outer, inner, "k", "v")
+        assert result == [(1, 42, 42, 7)]
+
+    def test_empty_sides(self):
+        empty = relation("r", [])
+        full = relation("s", [(1, 1)])
+        assert reference_join(full, empty, "k", "k") == []
+        assert reference_join(empty, full, "k", "k") == []
+
+    def test_predicates_applied(self):
+        inner = relation("r", [(1, 0), (2, 0)])
+        outer = relation("s", [(1, 0), (2, 0)])
+        result = reference_join(
+            outer, inner, "k", "k",
+            outer_predicate=lambda row: row[0] == 1,
+            inner_predicate=lambda row: row[0] != 99)
+        assert result == [(1, 0, 1, 0)]
+
+
+class TestComparison:
+    def test_multiset_ignores_order(self):
+        assert result_multiset([(1,), (2,)]) == \
+            result_multiset([(2,), (1,)])
+
+    def test_multiset_counts_duplicates(self):
+        assert result_multiset([(1,), (1,)]) != result_multiset([(1,)])
+
+    def test_assert_same_result_passes(self):
+        assert_same_result([(1, 2)], [(1, 2)])
+
+    def test_assert_same_result_reports_missing(self):
+        with pytest.raises(AssertionError, match="1 missing"):
+            assert_same_result([], [(1, 2)])
+
+    def test_assert_same_result_reports_extra(self):
+        with pytest.raises(AssertionError, match="1 unexpected"):
+            assert_same_result([(1, 2)], [])

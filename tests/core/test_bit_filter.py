@@ -1,0 +1,136 @@
+"""Tests for bit-vector filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import hashing
+from repro.core.bit_filter import BitFilter, FilterBank
+from repro.costs import CostModel
+
+
+class TestBitFilter:
+    def test_set_then_test(self):
+        filt = BitFilter(64)
+        h = hashing.hash_int(42)
+        filt.set(h)
+        assert filt.test(h)
+
+    def test_unset_usually_misses(self):
+        filt = BitFilter(1973)
+        filt.set(hashing.hash_int(1))
+        misses = sum(not filt.test(hashing.hash_int(v))
+                     for v in range(100, 200))
+        assert misses > 90  # a 1-bit filter can't match everything
+
+    def test_counters(self):
+        filt = BitFilter(64)
+        filt.set(hashing.hash_int(1))
+        filt.test(hashing.hash_int(1))
+        filt.test(hashing.hash_int(999_999))
+        assert filt.sets == 1
+        assert filt.tests == 2
+        assert filt.passed + filt.eliminated == 2
+
+    def test_saturation(self):
+        filt = BitFilter(8)
+        for v in range(1000):
+            filt.set(hashing.hash_int(v))
+        assert filt.saturation == 1.0
+        assert filt.bits_set == 8
+
+    def test_saturated_filter_eliminates_nothing(self):
+        filt = BitFilter(4)
+        for v in range(100):
+            filt.set(hashing.hash_int(v))
+        for v in range(1000, 1100):
+            assert filt.test(hashing.hash_int(v))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BitFilter(0)
+
+
+class TestFilterBank:
+    def test_paper_sizing(self):
+        bank = FilterBank.sized_for(8, CostModel())
+        assert len(bank) == 8
+        assert bank[0].num_bits == 1973
+
+    def test_per_site_isolation(self):
+        bank = FilterBank(2, 128)
+        h = hashing.hash_int(7)
+        bank.set(0, h)
+        assert bank.test(0, h)
+        assert not bank.test(1, h)
+
+    def test_aggregate_counters(self):
+        bank = FilterBank(2, 128)
+        bank.set(0, hashing.hash_int(1))
+        bank.test(0, hashing.hash_int(1))
+        bank.test(1, hashing.hash_int(2))
+        assert bank.total_tests == 2
+        assert bank.total_eliminated == 1
+
+    def test_merge_counters_into(self):
+        bank = FilterBank(1, 64)
+        bank.set(0, hashing.hash_int(5))
+        bank.test(0, hashing.hash_int(5))
+        bank.test(0, hashing.hash_int(6))
+        totals: dict = {"filter_tests": 10}
+        bank.merge_counters_into(totals)
+        assert totals["filter_tests"] == 12
+        assert totals["filter_eliminated"] >= 0
+        assert totals["filter_bits_set"] >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FilterBank(0, 64)
+
+
+class TestEffectivenessTrend:
+    def test_fewer_values_better_filter(self):
+        """§4.2: per-bucket filters get more selective as buckets
+        shrink — the falling part of the Grace curve in Figure 12."""
+        probe_values = list(range(50_000, 60_000))
+
+        def eliminated_fraction(num_building):
+            filt = BitFilter(1973)
+            for v in range(num_building):
+                filt.set(hashing.hash_int(v))
+            eliminated = sum(not filt.test(hashing.hash_int(v))
+                             for v in probe_values)
+            return eliminated / len(probe_values)
+
+        full = eliminated_fraction(1250)   # 1 bucket's share per site
+        half = eliminated_fraction(625)    # 2 buckets
+        quarter = eliminated_fraction(313)  # 4 buckets
+        assert full < half < quarter
+
+    def test_duplicate_heavy_build_sets_fewer_bits(self):
+        """§4.4: normally distributed values collide when setting
+        bits, leaving a cleaner filter (why NU gains most from
+        filtering)."""
+        uniform = BitFilter(1973)
+        for v in range(1250):
+            uniform.set(hashing.hash_int(v))
+        skewed = BitFilter(1973)
+        for v in range(1250):
+            skewed.set(hashing.hash_int(50_000 + v % 250))
+        assert skewed.bits_set < uniform.bits_set
+
+
+@given(building=st.sets(st.integers(0, 10**6), max_size=300),
+       probing=st.lists(st.integers(0, 10**6), max_size=300),
+       bits=st.integers(min_value=1, max_value=4096))
+@settings(max_examples=100, deadline=None)
+def test_no_false_negatives_property(building, probing, bits):
+    """THE filter invariant: a probing value whose join partner was
+    built can never be eliminated."""
+    filt = BitFilter(bits)
+    for value in building:
+        filt.set(hashing.hash_value(value))
+    for value in probing:
+        if value in building:
+            assert filt.test(hashing.hash_value(value)), (
+                f"false negative for {value}")

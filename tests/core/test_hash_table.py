@@ -1,0 +1,202 @@
+"""Tests for the join hash table and its overflow mechanism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import hashing
+from repro.core.hash_table import (
+    CLEAR_FRACTION,
+    JoinHashTable,
+    JoinOverflowError,
+)
+
+
+def insert_value(table, value, payload=None):
+    h = hashing.hash_int(value)
+    row = (value, payload)
+    if table.admits(h):
+        if table.is_full:
+            evicted, _scanned = table.make_room()
+        else:
+            evicted = []
+        if table.admits(h):
+            table.insert(row, h)
+            return "stored", evicted
+        return "overflow", evicted + [(row, h)]
+    return "overflow", [(row, h)]
+
+
+class TestBasicOperation:
+    def test_insert_and_probe(self):
+        table = JoinHashTable(10)
+        h = hashing.hash_int(5)
+        table.insert((5, "r"), h)
+        matches, chain = table.probe(h, 5, 0)
+        assert matches == [(5, "r")]
+        assert chain == 1
+
+    def test_probe_miss(self):
+        table = JoinHashTable(10)
+        matches, chain = table.probe(hashing.hash_int(99), 99, 0)
+        assert matches == []
+        assert chain == 0
+
+    def test_duplicates_chain(self):
+        table = JoinHashTable(10)
+        h = hashing.hash_int(7)
+        for i in range(4):
+            table.insert((7, i), h)
+        matches, chain = table.probe(h, 7, 0)
+        assert len(matches) == 4
+        assert chain == 4
+        assert table.max_chain == 4
+        assert table.average_chain == pytest.approx(4.0)
+
+    def test_hash_collision_filtered_by_key(self):
+        """Two different key values could share a hash code; probe
+        compares the actual join values."""
+        table = JoinHashTable(10)
+        table.insert((111, "a"), 12345)
+        table.insert((222, "b"), 12345)  # forced collision
+        matches, chain = table.probe(12345, 111, 0)
+        assert matches == [(111, "a")]
+        assert chain == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            JoinHashTable(0)
+
+    def test_full_insert_guarded(self):
+        table = JoinHashTable(1)
+        table.insert((1,), hashing.hash_int(1))
+        with pytest.raises(RuntimeError, match="full"):
+            table.insert((2,), hashing.hash_int(2))
+
+
+class TestOverflowMechanism:
+    def test_make_room_frees_at_least_ten_percent(self):
+        table = JoinHashTable(100)
+        for v in range(100):
+            table.insert((v,), hashing.hash_int(v))
+        evicted, scanned = table.make_room()
+        assert len(evicted) >= CLEAR_FRACTION * 100
+        assert scanned == 100
+        assert table.count == 100 - len(evicted)
+        assert table.overflowed
+
+    def test_cutoff_excludes_evicted_range(self):
+        table = JoinHashTable(50)
+        values = list(range(50))
+        for v in values:
+            table.insert((v,), hashing.hash_int(v))
+        evicted, _ = table.make_room()
+        for (_row, h) in evicted:
+            assert h >= table.cutoff
+            assert not table.admits(h)
+        for _row, h in table.resident_rows():
+            assert h < table.cutoff
+            assert table.admits(h)
+
+    def test_cutoff_monotonically_decreases(self):
+        table = JoinHashTable(40)
+        cutoffs = []
+        value = 0
+        for _ in range(4):
+            while not table.is_full:
+                insert_value(table, value)
+                value += 1
+            table.make_room()
+            cutoffs.append(table.cutoff)
+        assert cutoffs == sorted(cutoffs, reverse=True)
+        assert len(set(cutoffs)) == len(cutoffs)
+
+    def test_repeated_invocations_divert_more_arrivals(self):
+        """§4.1: each application of the heuristic increases the
+        fraction of incoming tuples sent straight to overflow."""
+        table = JoinHashTable(100)
+        value = 0
+        overflowed_first = 0
+        overflowed_second = 0
+        # Fill, clear once, then insert 200 more and count diversions.
+        while not table.is_full:
+            insert_value(table, value)
+            value += 1
+        table.make_room()
+        first_cutoff = table.cutoff
+        for _ in range(200):
+            state, _ = insert_value(table, value)
+            value += 1
+            if state == "overflow":
+                overflowed_first += 1
+        while not table.is_full:
+            insert_value(table, value)
+            value += 1
+        table.make_room()
+        assert table.cutoff < first_cutoff
+        for _ in range(200):
+            state, _ = insert_value(table, value)
+            value += 1
+            if state == "overflow":
+                overflowed_second += 1
+        assert overflowed_second > overflowed_first
+
+    def test_single_hot_bin_evicts_everything(self):
+        """Every resident tuple in one low histogram bin: clearing
+        must take the whole bin — the table empties and all future
+        arrivals divert to the overflow file (the true pathology is
+        then caught by the recursion depth limit)."""
+        table = JoinHashTable(10)
+        # Hash code 0 is in bin 0.
+        for i in range(10):
+            table.insert((i,), 0)
+        evicted, scanned = table.make_room()
+        assert len(evicted) == 10
+        assert table.count == 0
+        assert not table.admits(0)
+
+    def test_overflow_error_type_exists(self):
+        assert issubclass(JoinOverflowError, RuntimeError)
+
+    def test_statistics(self):
+        table = JoinHashTable(30)
+        for v in range(30):
+            table.insert((v,), hashing.hash_int(v))
+        table.make_room()
+        assert table.overflow_events == 1
+        assert table.tuples_evicted >= 3
+        assert table.tuples_scanned_during_eviction == 30
+        assert table.total_inserted == 30
+
+
+class TestSymmetryInvariant:
+    @given(values=st.lists(st.integers(0, 500), min_size=1,
+                           max_size=400),
+           capacity=st.integers(min_value=4, max_value=60))
+    @settings(max_examples=80, deadline=None)
+    def test_resident_iff_below_cutoff(self, values, capacity):
+        """THE overflow invariant: after any insert/clear history,
+        residency is exactly 'hash below cutoff', so matching R and S
+        tuples always land on the same side.  No tuple is lost."""
+        table = JoinHashTable(capacity)
+        overflow: list = []
+        for value in values:
+            state, evicted = insert_value(table, value)
+            overflow.extend(evicted)
+        resident = list(table.resident_rows())
+        assert len(resident) + len(overflow) == len(values)
+        if table.cutoff is not None:
+            for _row, h in resident:
+                assert h < table.cutoff
+            for _row, h in overflow:
+                assert h >= table.cutoff
+        else:
+            assert overflow == []
+        # Probing follows the same rule: a value's matches are fully
+        # resident or fully overflowed.
+        for value in set(values):
+            h = hashing.hash_int(value)
+            matches, _ = table.probe(h, value, 0)
+            expected_resident = [(r, hh) for (r, hh) in resident
+                                 if r[0] == value]
+            assert len(matches) == len(expected_resident)

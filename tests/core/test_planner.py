@@ -1,0 +1,87 @@
+"""Tests for bucket-count planning."""
+
+import pytest
+
+from repro.core.planner import BucketPolicy, plan_buckets
+
+
+def plan(ratio, policy=BucketPolicy.PESSIMISTIC, algorithm="hybrid",
+         disks=8, joiners=8, override=None):
+    inner_bytes = 2_080_000
+    memory = round(ratio * inner_bytes)
+    return plan_buckets(algorithm, inner_bytes, memory, disks, joiners,
+                        policy=policy, override=override)
+
+
+class TestPaperRatios:
+    def test_exact_ratios_give_exact_buckets(self):
+        """§4: 'a data point at 0.5 relative memory availability
+        equates to a two-bucket join... 0.20 was computed using 5
+        buckets'."""
+        for ratio, expected in ((1.0, 1), (0.5, 2), (1 / 3, 3),
+                                (0.25, 4), (0.2, 5), (1 / 6, 6)):
+            assert plan(ratio).num_buckets == expected
+
+    def test_rounding_robust_to_byte_truncation(self):
+        """round(|R|/3) bytes is a hair under a third of |R|; the
+        planner must still choose 3 buckets, not 4."""
+        assert plan(1 / 3).num_buckets == 3
+        assert plan(1 / 6).num_buckets == 6
+
+    def test_fractional_requirement_pessimistic(self):
+        assert plan(0.7).num_buckets == 2
+        assert plan(0.45).num_buckets == 3
+
+    def test_fractional_requirement_optimistic(self):
+        assert plan(0.7, BucketPolicy.OPTIMISTIC).num_buckets == 1
+        assert plan(0.45, BucketPolicy.OPTIMISTIC).num_buckets == 2
+
+    def test_plenty_of_memory_one_bucket(self):
+        assert plan(2.5).num_buckets == 1
+        assert plan(2.5, BucketPolicy.OPTIMISTIC).num_buckets == 1
+
+
+class TestAnalyzerIntegration:
+    def test_pathological_config_adjusted(self):
+        """2 disks + 4 join nodes at 3 buckets -> the analyzer's 4."""
+        result = plan_buckets("hybrid", 2_080_000,
+                              round(2_080_000 / 3), 2, 4)
+        assert result.num_buckets == 4
+        assert result.before_analyzer == 3
+        assert result.analyzer_adjusted
+
+    def test_override_still_analyzed(self):
+        result = plan_buckets("hybrid", 2_080_000, 2_080_000, 2, 4,
+                              override=3)
+        assert result.num_buckets == 4
+
+    def test_override_pins_when_clean(self):
+        result = plan(0.5, override=5)
+        assert result.num_buckets == 5
+        assert not result.analyzer_adjusted
+
+
+class TestSplitTableArithmetic:
+    def test_grace_entries(self):
+        result = plan(0.2, algorithm="grace")
+        assert result.split_table_entries("grace", 8, 8) == 40
+        assert result.split_table_bytes("grace", 8, 8) == 1600
+
+    def test_hybrid_entries(self):
+        result = plan(0.2)
+        assert result.split_table_entries("hybrid", 8, 8) == \
+            8 + 4 * 8
+
+
+class TestValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            plan_buckets("simple", 100, 100, 8, 8)
+
+    def test_zero_memory(self):
+        with pytest.raises(ValueError):
+            plan_buckets("grace", 100, 0, 8, 8)
+
+    def test_bad_override(self):
+        with pytest.raises(ValueError):
+            plan(0.5, override=0)

@@ -1,0 +1,100 @@
+"""Tests for the scheduler's phase orchestration and cost charging."""
+
+import pytest
+
+from repro.engine.machine import GammaMachine
+from repro.engine.scheduler import Scheduler
+
+
+def run_control(machine, gen):
+    machine.sim.process(gen)
+    machine.sim.run()
+
+
+class TestStartOperators:
+    def test_charges_scheduler_cpu(self):
+        machine = GammaMachine.local(4)
+        scheduler = Scheduler(machine)
+        run_control(machine, scheduler.start_operators(
+            machine.disk_nodes))
+        expected = 4 * machine.costs.operator_startup
+        assert (machine.scheduler_node.cpu.busy_time
+                >= expected - 1e-9)
+        assert scheduler.messages == 4
+
+    def test_split_table_fragmentation_costs_more(self):
+        """A split table over 2 KB ships in multiple ring packets —
+        the §4.1 'extra rise'."""
+
+        def elapsed(table_bytes):
+            machine = GammaMachine.local(4)
+            scheduler = Scheduler(machine)
+            run_control(machine, scheduler.start_operators(
+                machine.disk_nodes, split_table_bytes=table_bytes))
+            return machine.sim.now, machine.ring.packets_carried
+
+        small_time, small_packets = elapsed(1920)   # 6-bucket table
+        large_time, large_packets = elapsed(2240)   # 7-bucket table
+        assert large_packets == 2 * small_packets
+        assert large_time > small_time
+
+
+class TestCollectDone:
+    def test_one_message_per_operator(self):
+        machine = GammaMachine.local(3)
+        scheduler = Scheduler(machine)
+        run_control(machine, scheduler.collect_done(
+            machine.disk_nodes))
+        assert scheduler.messages == 3
+        assert machine.network.stats.control_messages == 3
+
+
+class TestExecutePhase:
+    def test_runs_producers_and_consumers(self):
+        machine = GammaMachine.local(2)
+        scheduler = Scheduler(machine)
+        log = []
+
+        def producer(node):
+            yield from node.cpu_use(0.5)
+            machine.registry.mailbox(1, "p").put("data")
+            log.append("produced")
+
+        def consumer(node):
+            message = yield machine.registry.mailbox(
+                node.node_id, "p").get()
+            log.append(f"consumed {message}")
+
+        run_control(machine, scheduler.execute_phase(
+            "test",
+            producers=[(machine.disk_nodes[0],
+                        producer(machine.disk_nodes[0]))],
+            consumers=[(machine.disk_nodes[1],
+                        consumer(machine.disk_nodes[1]))]))
+        assert log == ["produced", "consumed data"]
+        assert scheduler.phases_started == 1
+
+    def test_phase_waits_for_all(self):
+        machine = GammaMachine.local(2)
+        scheduler = Scheduler(machine)
+
+        def slow(node):
+            yield machine.sim.timeout(5.0)
+
+        def fast(node):
+            yield machine.sim.timeout(0.1)
+
+        run_control(machine, scheduler.execute_phase(
+            "test",
+            producers=[(machine.disk_nodes[0],
+                        slow(machine.disk_nodes[0]))],
+            consumers=[(machine.disk_nodes[1],
+                        fast(machine.disk_nodes[1]))]))
+        assert machine.sim.now >= 5.0
+
+    def test_empty_phase_is_cheap(self):
+        machine = GammaMachine.local(2)
+        scheduler = Scheduler(machine)
+        run_control(machine, scheduler.execute_phase(
+            "noop", producers=[], consumers=[]))
+        assert machine.sim.now == pytest.approx(0.0)

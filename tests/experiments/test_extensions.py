@@ -1,0 +1,159 @@
+"""Tests for the beyond-the-paper extensions: the multiuser
+throughput study (§5 future work) and the legacy-hash ablation."""
+
+import pytest
+
+from repro.core.joins import ALGORITHMS, JoinSpec
+from repro.core.joins.base import JoinConfigError
+from repro.engine.machine import GammaMachine
+from repro.experiments import ablations, multiuser
+from repro.experiments.config import ExperimentConfig
+from repro.wisconsin.database import WisconsinDatabase
+
+CONFIG = ExperimentConfig(scale=0.05, seed=7, num_disk_nodes=4,
+                          num_remote_join_nodes=4,
+                          skew_capacity_slack=1.06)
+
+
+class TestLaunchCollect:
+    def test_launch_then_collect(self, tiny_db):
+        machine = GammaMachine.local(4)
+        driver = ALGORITHMS["hybrid"](
+            machine, tiny_db.outer, tiny_db.inner,
+            JoinSpec(memory_ratio=1.0))
+        driver.launch()
+        machine.run_to_completion()
+        result = driver.collect()
+        assert result.result_tuples == tiny_db.expected_result_tuples
+
+    def test_collect_before_launch_rejected(self, tiny_db):
+        machine = GammaMachine.local(4)
+        driver = ALGORITHMS["hybrid"](
+            machine, tiny_db.outer, tiny_db.inner,
+            JoinSpec(memory_ratio=1.0))
+        with pytest.raises(JoinConfigError, match="before launch"):
+            driver.collect()
+
+    def test_collect_before_finish_rejected(self, tiny_db):
+        machine = GammaMachine.local(4)
+        driver = ALGORITHMS["hybrid"](
+            machine, tiny_db.outer, tiny_db.inner,
+            JoinSpec(memory_ratio=1.0))
+        driver.launch()
+        with pytest.raises(JoinConfigError, match="not finished"):
+            driver.collect()
+
+    def test_concurrent_queries_all_correct(self, tiny_db):
+        """Three joins on one machine: each produces the exact
+        result, and each takes longer than it would alone."""
+        machine = GammaMachine.local(4)
+        spec = JoinSpec(memory_ratio=1.0)
+        drivers = [ALGORITHMS["hybrid"](machine, tiny_db.outer,
+                                        tiny_db.inner, spec)
+                   for _ in range(3)]
+        for driver in drivers:
+            driver.launch()
+        machine.run_to_completion()
+        solo = ALGORITHMS["hybrid"](
+            GammaMachine.local(4), tiny_db.outer, tiny_db.inner,
+            spec).run()
+        for driver in drivers:
+            result = driver.collect()
+            assert (result.result_tuples
+                    == tiny_db.expected_result_tuples)
+            assert result.response_time > solo.response_time
+
+
+class TestMultiuserThroughput:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return WisconsinDatabase.joinabprime(4, scale=0.05, seed=7,
+                                             hpja=False)
+
+    def test_batch_point(self, db):
+        point = multiuser.run_batch(CONFIG, db, "local", 2)
+        assert point.num_queries == 2
+        assert point.makespan > 0
+        assert point.mean_response <= point.makespan
+        assert point.throughput == pytest.approx(
+            2 / point.makespan * 60.0)
+
+    def test_bad_batch_size(self, db):
+        with pytest.raises(ValueError):
+            multiuser.run_batch(CONFIG, db, "local", 0)
+
+    def test_remote_throughput_advantage_grows(self):
+        """The §5 hypothesis: remote sustains more concurrent
+        queries/minute than local for non-HPJA joins, and its disk
+        nodes stay cooler."""
+        table = multiuser.multiuser_throughput(
+            CONFIG, batch_sizes=(1, 4))
+        for row in table.row_labels:
+            assert (table.get(row, "remote q/min")
+                    > table.get(row, "local q/min")), row
+            assert (table.get(row, "remote disk util")
+                    < table.get(row, "local disk util")), row
+        # Throughput improves with batching (pipelining between
+        # queries) for both configurations.
+        assert (table.get("4 queries", "local q/min")
+                > table.get("1 queries", "local q/min"))
+
+
+class TestLegacyHash:
+    def test_legacy_family_registered(self):
+        from repro import hashing
+        assert set(hashing.HASH_FAMILIES) == {"avalanche", "legacy"}
+
+    def test_legacy_preserves_locality(self):
+        from repro import hashing
+        near = [hashing.legacy_hash_int(v) for v in (50_000, 50_001)]
+        far = hashing.legacy_hash_int(90_000)
+        assert abs(near[0] - near[1]) < abs(near[0] - far)
+
+    def test_legacy_balanced_for_consecutive_keys(self):
+        import collections
+
+        from repro import hashing
+        counts = collections.Counter(
+            hashing.legacy_hash_int(v) % 8 for v in range(8000))
+        assert max(counts.values()) < 1.05 * 1000
+
+    def test_unknown_family_rejected(self, tiny_db):
+        machine = GammaMachine.local(4)
+        with pytest.raises(JoinConfigError, match="hash_family"):
+            ALGORITHMS["simple"](
+                machine, tiny_db.outer, tiny_db.inner,
+                JoinSpec(memory_ratio=1.0, hash_family="md5"))
+
+    def test_legacy_correct_but_slower_under_skew(self, tiny_skew_db):
+        """The catastrophe mechanism: same exact results, far more
+        overflow recursion."""
+        from repro.core.joins import run_join
+        from repro.core.joins.reference import assert_same_result
+
+        db = tiny_skew_db
+        results = {}
+        for family in ("avalanche", "legacy"):
+            machine = GammaMachine.local(4)
+            results[family] = run_join(
+                "simple", machine, db.outer, db.inner,
+                inner_attribute=db.inner_attribute,
+                outer_attribute=db.outer_attribute,
+                memory_ratio=0.17, capacity_slack=1.06,
+                hash_family=family)
+            assert_same_result(results[family].result_rows,
+                               db.expected_result_rows)
+        assert (results["legacy"].response_time
+                > 1.5 * results["avalanche"].response_time)
+        assert (results["legacy"].overflow_levels
+                > results["avalanche"].overflow_levels)
+
+    def test_ablation_table(self):
+        table = ablations.ablation_legacy_hash(CONFIG)
+        # Skewed inner: legacy blows up.
+        assert (table.get("simple NU", "legacy hash")
+                > 1.5 * table.get("simple NU", "avalanche hash"))
+        # Uniform inner: the two families are comparable (legacy is
+        # not broken per se — it fails only on clustered values).
+        assert (table.get("simple UU", "legacy hash")
+                < 1.4 * table.get("simple UU", "avalanche hash"))

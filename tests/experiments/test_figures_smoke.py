@@ -1,0 +1,157 @@
+"""Reduced-scale runs of every figure reproduction.
+
+Each test executes the actual experiment function at a small scale and
+checks structure plus the paper's headline qualitative claim for that
+figure.  The full-scale shape assertions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(scale=0.02, seed=3, num_disk_nodes=4,
+                          num_remote_join_nodes=4,
+                          memory_ratios=(1.0, 0.5, 0.25))
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figures.figure5(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figures.figure6(CONFIG)
+
+
+class TestFigure5:
+    def test_structure(self, fig5):
+        assert fig5.name == "figure5"
+        assert {s.label for s in fig5.series} == {
+            "hybrid", "grace", "simple", "sort-merge"}
+        for series in fig5.series:
+            assert series.xs == [1.0, 0.5, 0.25]
+            assert all(y > 0 for y in series.ys)
+
+    def test_hybrid_dominates_grace(self, fig5):
+        hybrid = fig5.series_by_label("hybrid")
+        grace = fig5.series_by_label("grace")
+        for ratio in CONFIG.memory_ratios:
+            assert hybrid.y_at(ratio) <= grace.y_at(ratio)
+
+    def test_hybrid_beats_sort_merge_at_full_memory(self, fig5):
+        # At this reduced scale sorting a 40-tuple fragment is nearly
+        # free, so sort-merge is artificially competitive below 1.0;
+        # the full-range dominance is asserted at paper scale in
+        # benchmarks/test_fig05_hpja_local.py.
+        hybrid = fig5.series_by_label("hybrid")
+        sm = fig5.series_by_label("sort-merge")
+        assert hybrid.y_at(1.0) < sm.y_at(1.0)
+
+    def test_simple_equals_hybrid_at_one(self, fig5):
+        assert fig5.series_by_label("simple").y_at(1.0) == \
+            pytest.approx(fig5.series_by_label("hybrid").y_at(1.0))
+
+    def test_sort_merge_worst_at_full_memory(self, fig5):
+        sm = fig5.series_by_label("sort-merge").y_at(1.0)
+        for other in ("hybrid", "grace", "simple"):
+            assert sm > fig5.series_by_label(other).y_at(1.0)
+
+    def test_missing_series_lookup(self, fig5):
+        with pytest.raises(KeyError):
+            fig5.series_by_label("nested-loops")
+
+
+class TestFigure6:
+    def test_nonhpja_slower_than_hpja(self, fig5, fig6):
+        for label in ("hybrid", "grace", "simple", "sort-merge"):
+            for ratio in CONFIG.memory_ratios:
+                assert (fig6.series_by_label(label).y_at(ratio)
+                        > fig5.series_by_label(label).y_at(ratio))
+
+    def test_offset_roughly_constant(self, fig5, fig6):
+        """§4.1: 'the corresponding curves in Figures 5 and 6 differ
+        by a constant factor over all memory availabilities'."""
+        for label in ("grace", "sort-merge"):
+            gaps = [fig6.series_by_label(label).y_at(r)
+                    - fig5.series_by_label(label).y_at(r)
+                    for r in CONFIG.memory_ratios]
+            assert max(gaps) < 1.7 * min(gaps)
+
+
+class TestFigure7:
+    def test_tradeoff_shape(self):
+        figure = figures.figure7(CONFIG)
+        optimistic = figure.series_by_label(
+            "hybrid-overflow (optimistic)")
+        pessimistic = figure.series_by_label(
+            "hybrid-2-buckets (pessimistic)")
+        optimal = figure.series_by_label(
+            "optimal (perfect partitioning)")
+        # Equal at the integral endpoint.
+        assert optimistic.y_at(1.0) == pytest.approx(
+            pessimistic.y_at(1.0))
+        # The pessimistic line is flat between 0.5 and 0.9.
+        flat = [pessimistic.y_at(r) for r in (0.5, 0.6, 0.7, 0.8, 0.9)]
+        assert max(flat) == pytest.approx(min(flat))
+        # No measured curve beats perfect partitioning by more than
+        # noise.
+        for ratio in (0.6, 0.7, 0.8, 0.9):
+            assert optimistic.y_at(ratio) >= 0.95 * optimal.y_at(ratio)
+
+
+class TestFigures8And9:
+    def test_filters_drop_every_curve(self, fig5):
+        fig8 = figures.figure8(CONFIG)
+        for label in ("hybrid", "grace", "simple", "sort-merge"):
+            for ratio in CONFIG.memory_ratios:
+                assert (fig8.series_by_label(label).y_at(ratio)
+                        < fig5.series_by_label(label).y_at(ratio))
+
+    def test_figure9_structure(self):
+        fig9 = figures.figure9(CONFIG)
+        assert len(fig9.series) == 4
+
+
+class TestFigures10To13:
+    def test_overlays(self):
+        overlays = figures.figures10_13(CONFIG)
+        assert [f.name for f in overlays] == [
+            "figure10", "figure11", "figure12", "figure13"]
+        for figure in overlays:
+            assert len(figure.series) == 2
+            plain, filtered = figure.series
+            assert "no filter" in plain.label
+            assert "bit filter" in filtered.label
+            for ratio in CONFIG.memory_ratios:
+                assert filtered.y_at(ratio) < plain.y_at(ratio)
+
+
+class TestRemoteFigures:
+    def test_figure14_structure(self):
+        figure = figures.figure14(CONFIG)
+        assert len(figure.series) == 6  # 3 algorithms x 2 HPJA modes
+        # Simple's HPJA and non-HPJA curves coincide below 1.0: the
+        # post-overflow hash change makes every join non-HPJA (§4.3).
+        hpja = figure.series_by_label("simple (HPJA)")
+        non = figure.series_by_label("simple (non-HPJA)")
+        assert non.y_at(0.5) <= 1.1 * hpja.y_at(0.5)
+
+    def test_figure15_local_wins_for_hybrid_hpja(self):
+        figure = figures.figure15(CONFIG)
+        local = figure.series_by_label("hybrid (local)")
+        remote = figure.series_by_label("hybrid (remote)")
+        for ratio in CONFIG.memory_ratios:
+            assert local.y_at(ratio) < remote.y_at(ratio)
+
+    def test_figure16_remote_wins_at_full_memory(self):
+        figure = figures.figure16(CONFIG)
+        local = figure.series_by_label("hybrid (local)")
+        remote = figure.series_by_label("hybrid (remote)")
+        assert remote.y_at(1.0) < local.y_at(1.0)
+        # Grace stays local-faster by a near-constant margin.
+        g_local = figure.series_by_label("grace (local)")
+        g_remote = figure.series_by_label("grace (remote)")
+        for ratio in CONFIG.memory_ratios:
+            assert g_local.y_at(ratio) < g_remote.y_at(ratio)

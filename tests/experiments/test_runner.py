@@ -1,0 +1,104 @@
+"""Tests for sweep containers and the point runner."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_MEMORY_RATIOS,
+    ExperimentConfig,
+)
+from repro.experiments.runner import (
+    Series,
+    SweepPoint,
+    Table,
+    build_machine,
+    run_sweep_point,
+)
+from repro.wisconsin.database import WisconsinDatabase
+
+CONFIG = ExperimentConfig(scale=0.01, seed=3, num_disk_nodes=4,
+                          num_remote_join_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return WisconsinDatabase.joinabprime(4, scale=0.01, seed=3)
+
+
+class TestConfig:
+    def test_paper_ratios_are_integral_buckets(self):
+        for index, ratio in enumerate(PAPER_MEMORY_RATIOS, start=1):
+            assert ratio == pytest.approx(1 / index)
+
+    def test_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        config = ExperimentConfig.from_environment()
+        assert config.scale == 0.25
+        assert config.seed == 9
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        config = ExperimentConfig.from_environment(default_scale=0.5)
+        assert config.scale == 0.5
+
+
+class TestSeries:
+    def test_accessors(self):
+        series = Series("x")
+        series.add(SweepPoint(x=1.0, response_time=10.0))
+        series.add(SweepPoint(x=0.5, response_time=20.0))
+        assert series.xs == [1.0, 0.5]
+        assert series.ys == [10.0, 20.0]
+        assert series.y_at(0.5) == 20.0
+        with pytest.raises(KeyError):
+            series.y_at(0.25)
+
+    def test_point_iter(self):
+        x, y = SweepPoint(x=0.5, response_time=9.0)
+        assert (x, y) == (0.5, 9.0)
+
+
+class TestTable:
+    def test_set_get(self):
+        table = Table("t", ["r1"], ["c1", "c2"])
+        table.set("r1", "c1", 5.0)
+        assert table.get("r1", "c1") == 5.0
+        assert table.has("r1", "c1")
+        assert not table.has("r1", "c2")
+
+
+class TestRunSweepPoint:
+    def test_basic_point(self, db):
+        point = run_sweep_point(CONFIG, db, "hybrid", 1.0)
+        assert point.x == 1.0
+        assert point.response_time > 0
+        assert point.result is not None
+        assert point.result.algorithm == "hybrid"
+
+    def test_verification_mode(self, db):
+        config = ExperimentConfig(scale=0.01, seed=3,
+                                  num_disk_nodes=4,
+                                  verify_results=True)
+        point = run_sweep_point(config, db, "sort-merge", 0.5)
+        assert point.result.result_rows is not None
+
+    def test_spec_kwargs_forwarded(self, db):
+        point = run_sweep_point(CONFIG, db, "grace", 0.5,
+                                num_buckets=3)
+        assert point.result.num_buckets == 3
+
+    def test_remote_configuration(self, db):
+        point = run_sweep_point(CONFIG, db, "hybrid", 1.0,
+                                configuration="remote")
+        assert point.response_time > 0
+
+    def test_build_machine(self):
+        local = build_machine(CONFIG, "local")
+        assert len(local.diskless_nodes) == 0
+        remote = build_machine(CONFIG, "remote")
+        assert len(remote.diskless_nodes) == 4
+
+    def test_keep_result_off(self, db):
+        point = run_sweep_point(CONFIG, db, "hybrid", 1.0,
+                                keep_result=False)
+        assert point.result is None

@@ -1,0 +1,87 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_time_never_moves_backwards(sim):
+    times = []
+
+    def body():
+        for delay in (1.0, 0.5, 2.0, 0.0):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert times == sorted(times)
+    assert times == [1.0, 1.5, 3.5, 3.5]
+
+
+def test_cannot_schedule_into_past(sim):
+    with pytest.raises(ValueError, match="past"):
+        sim._schedule(sim.event(), delay=-0.1)
+
+
+def test_run_drains_heap(sim):
+    for delay in range(5):
+        sim.timeout(float(delay))
+    sim.run()
+    assert sim.queued_events == 0
+
+
+def test_step_fires_one_event(sim):
+    first = sim.timeout(1.0)
+    second = sim.timeout(2.0)
+    sim.step()
+    assert first.fired
+    assert not second.fired
+    assert sim.now == 1.0
+
+
+def test_determinism_bit_identical():
+    """Two identical simulations produce identical event traces."""
+
+    def build():
+        sim = Simulator()
+        trace = []
+
+        def worker(name, period):
+            for _ in range(10):
+                yield sim.timeout(period)
+                trace.append((round(sim.now, 9), name))
+
+        sim.process(worker("a", 0.3))
+        sim.process(worker("b", 0.7))
+        sim.process(worker("c", 0.3))
+        sim.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_run_until_between_events(sim):
+    fired = []
+    sim.timeout(1.0).callbacks.append(lambda e: fired.append(1))
+    sim.timeout(3.0).callbacks.append(lambda e: fired.append(3))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_large_heap_order():
+    sim = Simulator()
+    fired = []
+    delays = [((i * 7919) % 1000) / 10.0 for i in range(500)]
+    for delay in delays:
+        sim.timeout(delay).callbacks.append(
+            lambda e, d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays) == sorted(fired)

@@ -1,0 +1,259 @@
+"""Unit and property tests for Resource and Store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResourceMutualExclusion:
+    def test_capacity_one_serialises(self, sim):
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name):
+            grant = yield resource.request()
+            log.append(("in", name, sim.now))
+            yield sim.timeout(1.0)
+            resource.release(grant)
+            log.append(("out", name, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert log == [("in", "a", 0.0), ("out", "a", 1.0),
+                       ("in", "b", 1.0), ("out", "b", 2.0)]
+
+    def test_fifo_grant_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, arrival):
+            yield sim.timeout(arrival)
+            grant = yield resource.request()
+            order.append(name)
+            yield sim.timeout(5.0)
+            resource.release(grant)
+
+        for name, arrival in (("first", 0.0), ("second", 1.0),
+                              ("third", 2.0)):
+            sim.process(worker(name, arrival))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_capacity_two_allows_pair(self, sim):
+        resource = Resource(sim, capacity=2)
+        concurrent = []
+
+        def worker():
+            grant = yield resource.request()
+            concurrent.append(resource.in_use)
+            yield sim.timeout(1.0)
+            resource.release(grant)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert max(concurrent) == 2
+        assert sim.now == 2.0
+
+    def test_double_release_rejected(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            grant = yield resource.request()
+            resource.release(grant)
+            with pytest.raises(RuntimeError, match="double release"):
+                resource.release(grant)
+
+        sim.process(worker())
+        sim.run()
+
+    def test_foreign_grant_rejected(self, sim):
+        res_a = Resource(sim, capacity=1)
+        res_b = Resource(sim, capacity=1)
+
+        def worker():
+            grant = yield res_a.request()
+            with pytest.raises(ValueError, match="different resource"):
+                res_b.release(grant)
+            res_a.release(grant)
+
+        sim.process(worker())
+        sim.run()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_use_helper(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield from resource.use(3.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert sim.now == 6.0
+        assert resource.in_use == 0
+
+
+class TestResourceStatistics:
+    def test_utilisation_full(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield from resource.use(10.0)
+
+        sim.process(worker())
+        sim.run()
+        assert resource.utilisation() == pytest.approx(1.0)
+
+    def test_utilisation_half(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield from resource.use(5.0)
+            yield sim.timeout(5.0)
+
+        sim.process(worker())
+        sim.run()
+        assert resource.utilisation() == pytest.approx(0.5)
+
+    def test_acquisition_count(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            for _ in range(3):
+                yield from resource.use(1.0)
+
+        sim.process(worker())
+        sim.run()
+        assert resource.total_acquisitions == 3
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            got.append(((yield store.get()), sim.now))
+
+        def producer():
+            yield sim.timeout(4.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_waiting_getters_served_in_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put(1)
+            store.put(2)
+
+        sim.process(producer())
+        sim.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    @given(items=st.lists(st.integers(), max_size=60),
+           consumers=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_no_loss_no_duplication(self, items, consumers):
+        """Every put item is delivered exactly once, in FIFO order per
+        the interleaving of getters."""
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def consumer():
+            while True:
+                received.append((yield store.get()))
+
+        for _ in range(consumers):
+            sim.process(consumer())
+
+        def producer():
+            for item in items:
+                store.put(item)
+                yield sim.timeout(0.001)
+
+        sim.process(producer())
+        sim.run(until=10.0)
+        assert received == list(items)
+        assert store.pending_items == 0
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=5,
+                      allow_nan=False),      # arrival
+            st.floats(min_value=0.01, max_value=2,
+                      allow_nan=False)),     # service
+        min_size=1, max_size=20),
+    capacity=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_resource_never_over_capacity(jobs, capacity):
+    """Property: concurrent holders never exceed capacity, and all
+    jobs eventually complete."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    completed = []
+    max_seen = [0]
+
+    def worker(arrival, service):
+        yield sim.timeout(arrival)
+        grant = yield resource.request()
+        max_seen[0] = max(max_seen[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield sim.timeout(service)
+        resource.release(grant)
+        completed.append(1)
+
+    for arrival, service in jobs:
+        sim.process(worker(arrival, service))
+    sim.run()
+    assert len(completed) == len(jobs)
+    assert max_seen[0] <= capacity

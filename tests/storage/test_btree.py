@@ -1,0 +1,192 @@
+"""Unit and property tests for the B+ tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree
+
+
+class TestInsertSearch:
+    def test_empty(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert 1 not in tree
+
+    def test_insert_and_find(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, f"row{key}")
+        assert tree.search(7) == ["row7"]
+        assert tree.search(8) == []
+        assert 5 in tree
+
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(10, "a")
+        tree.insert(10, "b")
+        assert sorted(tree.search(10)) == ["a", "b"]
+        assert len(tree) == 2
+        assert tree.num_keys == 1
+
+    def test_splits_grow_height(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.height > 1
+        tree.check_invariants()
+        for key in range(100):
+            assert tree.search(key) == [key]
+
+    def test_reverse_insertion(self):
+        tree = BPlusTree(order=5)
+        for key in range(200, 0, -1):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(1, 201))
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestRangeScan:
+    def make(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):
+            tree.insert(key, key * 10)
+        return tree
+
+    def test_inclusive_bounds(self):
+        tree = self.make()
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self):
+        tree = self.make()
+        keys = [k for k, _ in tree.range_scan(9, 15)]
+        assert keys == [10, 12, 14]
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert list(tree.range_scan(11, 11)) == []
+
+    def test_full_scan(self):
+        tree = self.make()
+        assert len(list(tree.range_scan(-100, 1000))) == 50
+
+    def test_duplicates_in_range(self):
+        tree = BPlusTree(order=4)
+        for _ in range(3):
+            tree.insert(5, "x")
+        assert [v for _, v in tree.range_scan(0, 10)] == ["x"] * 3
+
+
+class TestDelete:
+    def test_delete_reduces_size(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.delete(25)
+        assert tree.search(25) == []
+        assert len(tree) == 49
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert not tree.delete(2)
+        assert not tree.delete(1, value="zzz")
+
+    def test_delete_one_duplicate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.delete(5, value="a")
+        assert tree.search(5) == ["b"]
+
+    def test_delete_everything_shrinks_tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(100):
+            assert tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(order=4)
+        for key in range(60):
+            tree.insert(key, key)
+        for key in range(0, 60, 2):
+            tree.delete(key)
+        for key in range(100, 130):
+            tree.insert(key, key)
+        tree.check_invariants()
+        present = [k for k, _ in tree.items()]
+        assert present == sorted(set(range(1, 60, 2))
+                                 | set(range(100, 130)))
+
+
+class TestPageTouches:
+    def test_search_touches_root_to_leaf(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        tree.search(123)
+        assert len(tree.last_touched_pages) == tree.height
+
+    def test_buffer_pool_integration(self):
+        from repro.storage import BufferPool
+        tree = BPlusTree(order=4)
+        for key in range(500):
+            tree.insert(key, key)
+        pool = BufferPool(num_frames=64)
+        tree.search(42)
+        first = pool.access_many(tree.last_touched_pages)
+        tree.search(42)
+        second = pool.access_many(tree.last_touched_pages)
+        assert first == tree.height  # cold misses
+        assert second == 0           # fully cached
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_btree_matches_sorted_reference(keys):
+    """Property: the tree's items equal the sorted multiset of
+    inserted keys, and invariants hold throughout."""
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    assert len(tree) == len(keys)
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=0, max_value=50)),
+                max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_btree_delete_matches_multiset(operations):
+    """Property: interleaved inserts/deletes track a reference
+    multiset exactly."""
+    import collections
+
+    tree = BPlusTree(order=4)
+    reference: collections.Counter = collections.Counter()
+    for is_insert, key in operations:
+        if is_insert:
+            tree.insert(key, key)
+            reference[key] += 1
+        else:
+            deleted = tree.delete(key)
+            assert deleted == (reference[key] > 0)
+            if deleted:
+                reference[key] -= 1
+    tree.check_invariants()
+    expected = sorted(k for k, c in reference.items()
+                      for _ in range(c))
+    assert [k for k, _ in tree.items()] == expected

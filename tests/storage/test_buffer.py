@@ -1,0 +1,75 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BufferPool
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        pool = BufferPool(num_frames=2)
+        assert not pool.access("p1")
+        assert pool.access("p1")
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_eviction_order(self):
+        pool = BufferPool(num_frames=2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("c")  # evicts a
+        assert "a" not in pool
+        assert "b" in pool and "c" in pool
+        assert pool.evictions == 1
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(num_frames=2)
+        pool.access("a")
+        pool.access("b")
+        pool.access("a")  # a now most recent
+        pool.access("c")  # evicts b
+        assert "a" in pool
+        assert "b" not in pool
+
+    def test_access_many(self):
+        pool = BufferPool(num_frames=4)
+        assert pool.access_many(["a", "b", "a", "c"]) == 3
+
+    def test_invalidate(self):
+        pool = BufferPool(num_frames=2)
+        pool.access("a")
+        pool.invalidate("a")
+        assert "a" not in pool
+        pool.invalidate("never-seen")  # no error
+
+    def test_clear(self):
+        pool = BufferPool(num_frames=2)
+        pool.access("a")
+        pool.clear()
+        assert pool.resident == 0
+
+    def test_hit_rate(self):
+        pool = BufferPool(num_frames=8)
+        for _ in range(3):
+            pool.access("x")
+        assert pool.hit_rate == pytest.approx(2 / 3)
+        assert BufferPool(1).hit_rate == 0.0
+
+    def test_capacity_respected(self):
+        pool = BufferPool(num_frames=3)
+        for page in range(100):
+            pool.access(page)
+        assert pool.resident == 3
+
+    def test_invalid_frames(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_sequential_scan_thrashes_small_pool(self):
+        """Classic LRU behaviour: a loop over N+1 pages in an N-frame
+        pool never hits."""
+        pool = BufferPool(num_frames=3)
+        for _ in range(5):
+            for page in range(4):
+                pool.access(page)
+        assert pool.hits == 0

@@ -1,0 +1,95 @@
+"""Tests for PagedFile accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import PagedFile
+
+
+def make(tuple_bytes=208, page_size=8192):
+    return PagedFile("f", tuple_bytes, page_size)
+
+
+class TestAppend:
+    def test_page_boundary_signalled(self):
+        file = make(tuple_bytes=2048, page_size=8192)  # 4 per page
+        signals = [file.append((i,)) for i in range(9)]
+        assert signals == [False, False, False, True,
+                           False, False, False, True, False]
+
+    def test_extend_counts_pages(self):
+        file = make(tuple_bytes=4096, page_size=8192)  # 2 per page
+        assert file.extend([(i,) for i in range(5)]) == 2
+        assert file.num_tuples == 5
+        assert file.num_pages == 3
+
+    def test_close_returns_trailing_page(self):
+        file = make(tuple_bytes=4096, page_size=8192)
+        file.extend([(1,), (2,), (3,)])
+        assert file.close() == 1
+
+    def test_close_no_trailing_when_exact(self):
+        file = make(tuple_bytes=4096, page_size=8192)
+        file.extend([(1,), (2,)])
+        assert file.close() == 0
+
+    def test_close_empty(self):
+        file = make()
+        assert file.close() == 0
+
+    def test_append_after_close_rejected(self):
+        file = make()
+        file.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            file.append((1,))
+
+    def test_double_close_rejected(self):
+        file = make()
+        file.close()
+        with pytest.raises(RuntimeError, match="double close"):
+            file.close()
+
+
+class TestArithmetic:
+    def test_wisconsin_page_capacity(self):
+        assert make().tuples_per_page == 39
+
+    def test_total_bytes(self):
+        file = make(tuple_bytes=100)
+        file.extend([(i,) for i in range(7)])
+        assert file.total_bytes == 700
+
+    def test_is_empty(self):
+        file = make()
+        assert file.is_empty
+        file.append((1,))
+        assert not file.is_empty
+
+    def test_pages_iteration_preserves_order(self):
+        file = make(tuple_bytes=4000, page_size=8192)  # 2 per page
+        data = [(i,) for i in range(5)]
+        file.extend(data)
+        pages = list(file.pages())
+        assert [len(p) for p in pages] == [2, 2, 1]
+        assert [row for page in pages for row in page] == data
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedFile("f", 0, 8192)
+        with pytest.raises(ValueError):
+            PagedFile("f", 100, 0)
+
+
+@given(n=st.integers(min_value=0, max_value=500),
+       tuple_bytes=st.integers(min_value=1, max_value=3000))
+@settings(max_examples=80, deadline=None)
+def test_page_signal_count_matches_arithmetic(n, tuple_bytes):
+    """Completed-page signals + the trailing close page always equal
+    ceil(n / tuples_per_page)."""
+    file = PagedFile("f", tuple_bytes, 8192)
+    completed = file.extend([(i,) for i in range(n)])
+    trailing = file.close()
+    assert completed + trailing == file.num_pages
+    expected = -(-n // file.tuples_per_page) if n else 0
+    assert file.num_pages == expected

@@ -1,0 +1,116 @@
+"""Tests for the external merge-sort planner."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs import CostModel
+from repro.storage.sort import (
+    MIN_SORT_PAGES,
+    plan_external_sort,
+    sort_rows,
+)
+
+COSTS = CostModel()
+
+
+class TestPlanArithmetic:
+    def test_in_memory_sort_no_merge(self):
+        # 1000 x 208B tuples = 26 pages; 40 pages of memory.
+        plan = plan_external_sort(1000, 208, 40 * 8192, COSTS)
+        assert plan.initial_runs == 1
+        assert plan.merge_passes == 0
+        assert plan.total_passes == 1
+
+    def test_paper_outer_relation_one_pass(self):
+        """100k tuples (2565 pages) with 1/8th of 2 MB of sort space:
+        run formation plus merging."""
+        plan = plan_external_sort(100_000 // 8, 208,
+                                  2_080_000 // 8, COSTS)
+        assert plan.input_pages == 321
+        assert plan.memory_pages == 31
+        assert plan.initial_runs == 11
+        assert plan.merge_passes == 1
+
+    def test_passes_grow_as_memory_shrinks(self):
+        passes = [plan_external_sort(12_500, 208, mem, COSTS
+                                     ).merge_passes
+                  for mem in (400_000, 100_000, 50_000, 30_000)]
+        assert passes == sorted(passes)
+        assert passes[-1] > passes[0]
+
+    def test_minimum_buffers_enforced(self):
+        plan = plan_external_sort(1000, 208, 1, COSTS)
+        assert plan.memory_pages == MIN_SORT_PAGES
+
+    def test_empty_input(self):
+        plan = plan_external_sort(0, 208, 100_000, COSTS)
+        assert plan.input_pages == 0
+        assert plan.pages_read == 0
+        assert plan.cpu_seconds(COSTS) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plan_external_sort(-1, 208, 100_000, COSTS)
+
+    def test_io_volume(self):
+        plan = plan_external_sort(10_000, 208, 10 * 8192, COSTS)
+        expected = plan.input_pages * (1 + plan.merge_passes)
+        assert plan.pages_read == expected
+        assert plan.pages_written == expected
+
+
+class TestCpuModel:
+    def test_more_tuples_cost_more(self):
+        small = plan_external_sort(1_000, 208, 80_000, COSTS)
+        large = plan_external_sort(10_000, 208, 80_000, COSTS)
+        assert large.cpu_seconds(COSTS) > small.cpu_seconds(COSTS)
+
+    def test_fan_in_dip(self):
+        """With a constant pass count, *more* memory means a wider
+        loser tree and more CPU — the paper's 0.5 -> 0.25 dip."""
+        wide = plan_external_sort(100_000, 208, 130 * 8192, COSTS)
+        narrow = plan_external_sort(100_000, 208, 60 * 8192, COSTS)
+        assert wide.merge_passes == narrow.merge_passes == 1
+        assert wide.fan_in > narrow.fan_in
+        assert wide.cpu_seconds(COSTS) > narrow.cpu_seconds(COSTS)
+
+
+class TestSortRows:
+    def test_sorted_by_key(self):
+        rows = [(3, "c"), (1, "a"), (2, "b")]
+        assert sort_rows(rows, 0) == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_duplicates_deterministic(self):
+        rows = [(1, "b"), (1, "a"), (0, "z")]
+        assert sort_rows(rows, 0) == [(0, "z"), (1, "a"), (1, "b")]
+
+    def test_sort_by_second_attribute(self):
+        rows = [(1, 9), (2, 3), (3, 6)]
+        assert [r[1] for r in sort_rows(rows, 1)] == [3, 6, 9]
+
+
+@given(rows=st.lists(st.tuples(st.integers(-50, 50),
+                               st.integers(0, 10**6)),
+                     max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_sort_rows_is_permutation_and_ordered(rows):
+    result = sort_rows(rows, 0)
+    assert sorted(result) == sorted(rows)
+    keys = [r[0] for r in result]
+    assert keys == sorted(keys)
+
+
+@given(n=st.integers(min_value=1, max_value=200_000),
+       memory=st.integers(min_value=1, max_value=4_000_000))
+@settings(max_examples=100, deadline=None)
+def test_plan_invariants(n, memory):
+    plan = plan_external_sort(n, 208, memory, COSTS)
+    assert plan.initial_runs >= 1
+    assert plan.fan_in >= 2
+    assert plan.memory_pages >= MIN_SORT_PAGES
+    # The merge passes actually suffice to merge all runs.
+    assert plan.fan_in ** plan.merge_passes * 1.0001 >= plan.initial_runs
+    assert plan.cpu_seconds(COSTS) > 0

@@ -1,0 +1,101 @@
+"""Tests for the §4.4 skew distribution and its diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.wisconsin.distributions import (
+    normal_attribute_values,
+    skew_statistics,
+)
+
+
+def paper_values(n=100_000, seed=13):
+    rng = np.random.default_rng(seed)
+    return normal_attribute_values(n, rng)
+
+
+class TestNormalValues:
+    def test_domain_clipping(self):
+        rng = np.random.default_rng(0)
+        values = normal_attribute_values(1000, rng, mean=50,
+                                         stddev=1000, domain=100)
+        assert all(0 <= v < 100 for v in values)
+
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        assert len(normal_attribute_values(123, rng)) == 123
+        assert normal_attribute_values(0, rng) == []
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            normal_attribute_values(-1, rng)
+        with pytest.raises(ValueError):
+            normal_attribute_values(10, rng, domain=0)
+
+
+class TestPaperDiagnostics:
+    """§4.4's quantitative claims about the normal(50 000, 750)
+    attribute over 100 000 tuples."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return skew_statistics(paper_values())
+
+    def test_hot_range(self, stats):
+        """'12,500 tuples had join attribute values in the range of
+        50,000 to 50,243'."""
+        assert stats.in_hot_range == pytest.approx(12_500, rel=0.05)
+
+    def test_max_duplicates(self, stats):
+        """'no single attribute value occurred in more than 77
+        tuples'."""
+        assert 60 <= stats.max_duplicates <= 95
+
+    def test_inner_sample_chain_length(self):
+        """The duplicate structure that produced Gamma's hash chains:
+        'chains of 3.3 tuples on the average, with a maximum hash
+        chain length of 16' — measured on the 10 000-tuple sampled
+        inner relation."""
+        values = paper_values()
+        rng = np.random.default_rng(99)
+        sample = [values[i] for i in
+                  rng.choice(len(values), size=10_000, replace=False)]
+        stats = skew_statistics(sample)
+        assert 2.8 <= stats.mean_duplicates <= 4.0
+        assert 10 <= stats.max_duplicates <= 24
+
+    def test_outer_probe_weighted_duplicates(self, stats):
+        """A probing tuple from the skewed outer column expects a
+        ~38-deep duplicate cluster (why NN yields ~368k results)."""
+        assert 30 <= stats.weighted_mean_duplicates <= 48
+
+    def test_extreme_value(self, stats):
+        """'the maximum join attribute value is only 53,071' (about
+        4 sigma)."""
+        assert 52_500 <= stats.max_value <= 54_000
+        assert 46_000 <= stats.min_value <= 47_500
+
+    def test_distinct_values(self, stats):
+        assert 3500 <= stats.distinct <= 6500
+
+
+class TestStatisticsHelper:
+    def test_empty(self):
+        stats = skew_statistics([])
+        assert stats.n == 0
+        assert stats.mean_duplicates == 0.0
+
+    def test_uniform_column(self):
+        stats = skew_statistics(range(100))
+        assert stats.distinct == 100
+        assert stats.max_duplicates == 1
+        assert stats.weighted_mean_duplicates == 1.0
+        assert stats.in_hot_range == 0
+
+    def test_duplicates_counted(self):
+        stats = skew_statistics([5, 5, 5, 9])
+        assert stats.distinct == 2
+        assert stats.max_duplicates == 3
+        assert stats.weighted_mean_duplicates == pytest.approx(
+            (9 + 1) / 4)

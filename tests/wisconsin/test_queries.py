@@ -1,0 +1,91 @@
+"""Tests for the benchmark join queries."""
+
+import pytest
+
+from repro.core.joins import run_join
+from repro.core.joins.reference import (
+    assert_same_result,
+    reference_join,
+)
+from repro.engine.machine import GammaMachine
+from repro.wisconsin.queries import (
+    BENCHMARK_QUERIES,
+    join_abprime,
+    join_asel_b,
+    join_csel_asel_b,
+)
+
+
+class TestQueryDefinitions:
+    def test_registry_complete(self):
+        assert set(BENCHMARK_QUERIES) == {"joinABprime", "joinAselB",
+                                          "joinCselAselB"}
+
+    def test_joinabprime_no_predicates(self):
+        query = join_abprime()
+        assert query.inner_predicate is None
+        assert query.outer_predicate is None
+        assert query.spec_kwargs() == {"inner_attribute": "unique1",
+                                       "outer_attribute": "unique1"}
+
+    def test_joinaselb_selectivity(self):
+        query = join_asel_b(outer_cardinality=1000)
+        passing = sum(bool(query.outer_predicate((u,) + (0,) * 15))
+                      for u in range(1000))
+        assert passing == 100
+
+    def test_joincselaselb_both_sides(self):
+        query = join_csel_asel_b(outer_cardinality=1000,
+                                 inner_cardinality=100)
+        assert query.inner_predicate is not None
+        assert query.outer_predicate is not None
+        kwargs = query.spec_kwargs()
+        assert "inner_predicate" in kwargs
+        assert "outer_predicate" in kwargs
+
+
+class TestQueryExecution:
+    @pytest.mark.parametrize("algorithm",
+                             ["simple", "grace", "hybrid",
+                              "sort-merge"])
+    def test_joinaselb_all_algorithms(self, tiny_db, algorithm):
+        query = join_asel_b(outer_cardinality=tiny_db.outer.cardinality)
+        machine = GammaMachine.local(4)
+        result = run_join(algorithm, machine, tiny_db.outer,
+                          tiny_db.inner, memory_ratio=0.5,
+                          **query.spec_kwargs())
+        expected = reference_join(
+            tiny_db.outer, tiny_db.inner, "unique1", "unique1",
+            outer_predicate=query.outer_predicate)
+        assert_same_result(result.result_rows, expected)
+        # Every Bprime key is below the 10% threshold, so the result
+        # cardinality is unchanged (the original benchmark's
+        # joinAselB also returns 10 000 tuples) — only the scanned
+        # outer volume shrinks.
+        assert result.result_tuples == tiny_db.expected_result_tuples
+
+    def test_joincselaselb_stage(self, tiny_db):
+        query = join_csel_asel_b(
+            outer_cardinality=tiny_db.outer.cardinality,
+            inner_cardinality=tiny_db.inner.cardinality)
+        machine = GammaMachine.local(4)
+        result = run_join("hybrid", machine, tiny_db.outer,
+                          tiny_db.inner, memory_ratio=1.0,
+                          **query.spec_kwargs())
+        expected = reference_join(
+            tiny_db.outer, tiny_db.inner, "unique1", "unique1",
+            outer_predicate=query.outer_predicate,
+            inner_predicate=query.inner_predicate)
+        assert_same_result(result.result_rows, expected)
+
+    def test_selection_reduces_network_traffic(self, tiny_db):
+        query = join_asel_b(outer_cardinality=tiny_db.outer.cardinality)
+        plain = run_join("hybrid", GammaMachine.local(4),
+                         tiny_db.outer, tiny_db.inner,
+                         join_attribute="unique1", memory_ratio=1.0)
+        selected = run_join("hybrid", GammaMachine.local(4),
+                            tiny_db.outer, tiny_db.inner,
+                            memory_ratio=1.0, **query.spec_kwargs())
+        assert (selected.network.data_tuples
+                < plain.network.data_tuples)
+        assert selected.response_time < plain.response_time
