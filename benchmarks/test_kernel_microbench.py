@@ -1,0 +1,70 @@
+"""Microbenchmark of the simulation kernel's hot loop.
+
+A synthetic workload that touches every hot kernel path in roughly the
+proportions a join sweep does: per-worker uncontended resource holds
+(the grant-and-hold fast lane), periodic holds on one shared contended
+resource (the waiter queue), and occasional plain timeouts.  No model
+code is involved, so this isolates the event loop itself — regressions
+here point straight at ``repro.sim``.
+
+Timed by pytest-benchmark alongside the figure suites;
+``benchmarks/bench_kernel.py`` records the same workload into the
+``BENCH_kernel.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+
+N_WORKERS = 8
+N_OPS = 2000
+
+
+def run_kernel_workload(n_workers: int = N_WORKERS,
+                        n_ops: int = N_OPS) -> Simulator:
+    """Deterministic mixed contended/uncontended kernel workload."""
+    sim = Simulator()
+    shared = Resource(sim, capacity=1, name="shared")
+
+    def worker(index: int):
+        own = Resource(sim, capacity=1, name=f"own{index}")
+        hold = 0.0001 * (index + 1)
+        for op in range(n_ops):
+            yield from own.use(hold)
+            if op % 8 == 0:
+                yield from shared.use(0.0003)
+            if op % 32 == 0:
+                yield sim.timeout(0.001)
+
+    for index in range(n_workers):
+        sim.process(worker(index))
+    sim.run()
+    return sim
+
+
+def test_kernel_microbench(benchmark):
+    sim = benchmark(run_kernel_workload)
+    counters = sim.kernel_counters()
+    assert counters["queued_events"] == 0
+    # Every op holds at least one event; the workload really ran.
+    assert counters["events_fired"] > N_WORKERS * N_OPS
+    if sim.fastpath:
+        assert counters["fastpath_holds"] > N_WORKERS * N_OPS
+
+
+def test_kernel_workload_is_deterministic():
+    first = run_kernel_workload(n_workers=4, n_ops=300)
+    second = run_kernel_workload(n_workers=4, n_ops=300)
+    assert repr(first.now) == repr(second.now)
+    assert first.events_fired == second.events_fired
+
+
+def test_fastpath_matches_classic_clock(monkeypatch):
+    """The fast lanes may not move a single simulated timestamp."""
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    fast = run_kernel_workload(n_workers=4, n_ops=300)
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    classic = run_kernel_workload(n_workers=4, n_ops=300)
+    assert fast.fastpath and not classic.fastpath
+    assert repr(fast.now) == repr(classic.now)

@@ -244,6 +244,8 @@ class JoinDriver:
             raise JoinConfigError(
                 f"unknown hash_family {spec.hash_family!r}; choose "
                 f"from {sorted(_hashing.HASH_FAMILIES)}") from None
+        self._make_hasher = _hashing.HASH_FAMILY_HASHERS[spec.hash_family]
+        self._hashers: dict[int, typing.Callable] = {}
         self.aggregate_memory = spec.aggregate_memory(inner.total_bytes)
         self.result_tuple_bytes = (inner.schema.tuple_bytes
                                    + outer.schema.tuple_bytes)
@@ -342,6 +344,14 @@ class JoinDriver:
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def hasher(self, level: int) -> typing.Callable:
+        """A level-bound hash callable (cached; used by the page-level
+        routing loops — bit-identical to ``self.hash_value(v, level)``)."""
+        fn = self._hashers.get(level)
+        if fn is None:
+            fn = self._hashers[level] = self._make_hasher(level)
+        return fn
 
     def phase(self, name: str) -> PhaseStat:
         stat = PhaseStat(name=name, start=self.machine.sim.now)

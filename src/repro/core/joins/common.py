@@ -31,6 +31,7 @@ from repro.engine.node import Node
 from repro.engine.operators.routing import Router
 from repro.engine.operators.scan import (
     chain_file_pages,
+    constant_page_cost,
     fragment_pages,
     scan_pages,
 )
@@ -166,18 +167,59 @@ class HashJoinRound:
 
     # -- build side ----------------------------------------------------------
 
-    def build_route(self, router: Router) -> typing.Callable[[Row], float]:
-        """Standard building-relation route: hash, mod-J, transmit."""
+    def build_route_page(self, router: Router,
+                         predicate: typing.Callable[[Row], bool] | None
+                         ) -> typing.Callable:
+        """Standard building-relation route: hash, mod-J, transmit.
+
+        Page-level: one call scans a whole page (scan CPU + predicate
+        + hash + route) and batches the routed tuples into ``router``
+        with a single :meth:`Router.give_batch`.  The float
+        accumulation order matches the per-tuple contract exactly
+        (``cpu += tuple_scan`` then ``cpu += route_cost`` per row) so
+        simulated times are bit-identical.
+        """
         costs = self.costs
+        tuple_scan = costs.tuple_scan
         per_tuple = costs.tuple_hash + costs.tuple_move
-        sites = self.sites
+        node_ids = [site.node_id for site in self.sites]
+        n_entries = len(self.joining_table)
+        hasher = self.driver.hasher(self.level)
+        key = self.driver.inner_key
+        give_batch = router.give_batch
 
-        def route(row: Row) -> float:
-            h = self.hash_inner(row)
-            router.give(sites[self.site_of(h)].node_id, row, h)
-            return per_tuple
+        if predicate is None:
+            # Every row costs the same, so the page's CPU comes from a
+            # prefix table and the routing collapses to comprehensions.
+            cpu_for = constant_page_cost(tuple_scan, per_tuple)
 
-        return route
+            def route_page(page: typing.Sequence[Row]) -> float:
+                hashes = [hasher(row[key]) for row in page]
+                give_batch([node_ids[h % n_entries] for h in hashes],
+                           page, hashes)
+                return cpu_for(len(page))
+
+            return route_page
+
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            dsts: list[int] = []
+            rows: list[Row] = []
+            hashes: list[int] = []
+            for row in page:
+                cpu += tuple_scan
+                if not predicate(row):
+                    continue
+                h = hasher(row[key])
+                dsts.append(node_ids[h % n_entries])
+                rows.append(row)
+                hashes.append(h)
+                cpu += per_tuple
+            if rows:
+                give_batch(dsts, rows, hashes)
+            return cpu
+
+        return route_page
 
     def build_consumer(self, site: int, port: str, n_producers: int
                        ) -> typing.Generator:
@@ -198,6 +240,18 @@ class HashJoinRound:
         ov_router = Router(machine, node, [host], port + ".Rp",
                            driver.inner.schema.tuple_bytes)
         mailbox = machine.registry.mailbox(node.node_id, port)
+        # Per-tuple cost constants and bound methods, hoisted out of
+        # the packet loop (same float values, same addition order).
+        receive_update = costs.tuple_receive + costs.histogram_update
+        filter_set = costs.filter_set
+        overflow_scan_tuple = costs.overflow_scan_tuple
+        tuple_build = costs.tuple_build
+        tuple_move = costs.tuple_move
+        bank_set = self.bank.set if self.bank is not None else None
+        admits = table.admits
+        insert = table.insert
+        host_id = host.node_id
+        give = ov_router.give
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
@@ -208,27 +262,26 @@ class HashJoinRound:
             assert isinstance(message, DataPacket), message
             cpu = 0.0
             for row, h in zip(message.rows, message.hashes):
-                cpu += costs.tuple_receive + costs.histogram_update
-                if self.bank is not None:
-                    cpu += costs.filter_set
-                    self.bank.set(site, h)
-                if table.admits(h):
+                cpu += receive_update
+                if bank_set is not None:
+                    cpu += filter_set
+                    bank_set(site, h)
+                if admits(h):
                     if table.is_full:
                         evicted, scanned = table.make_room()
-                        cpu += scanned * costs.overflow_scan_tuple
+                        cpu += scanned * overflow_scan_tuple
                         for erow, ehash in evicted:
-                            cpu += costs.tuple_move
-                            ov_router.give(host.node_id, erow, ehash,
-                                           bucket=site)
-                    if table.admits(h):
-                        cpu += costs.tuple_build
-                        table.insert(row, h)
+                            cpu += tuple_move
+                            give(host_id, erow, ehash, bucket=site)
+                    if admits(h):
+                        cpu += tuple_build
+                        insert(row, h)
                     else:
-                        cpu += costs.tuple_move
-                        ov_router.give(host.node_id, row, h, bucket=site)
+                        cpu += tuple_move
+                        give(host_id, row, h, bucket=site)
                 else:
-                    cpu += costs.tuple_move
-                    ov_router.give(host.node_id, row, h, bucket=site)
+                    cpu += tuple_move
+                    give(host_id, row, h, bucket=site)
             yield from node.cpu_use(cpu)
             yield from ov_router.flush_ready()
         yield from ov_router.close()
@@ -270,41 +323,95 @@ class HashJoinRound:
 
     # -- probe side -----------------------------------------------------------
 
-    def probe_route(self, probe_router: Router, spool_router: Router,
-                    ) -> typing.Callable[[Row], float]:
+    def probe_route_page(self, probe_router: Router, spool_router: Router,
+                         predicate: typing.Callable[[Row], bool] | None
+                         ) -> typing.Callable:
         """Outer-relation route: filter test, cutoff check, transmit.
 
         Tuples whose destination site overflowed and whose hash is at
         or above the site's cutoff are spooled *directly* to the S'
         file (§3.2 step 3); the rest go to the site for probing.
         Filter-eliminated tuples go nowhere.
+
+        Page-level (see :meth:`build_route_page`): each row's route
+        cost is summed in its own variable ``r`` before being added to
+        the page total, mirroring the per-tuple closure's internal
+        accumulation, so float addition order is unchanged.
         """
         costs = self.costs
-        sites = self.sites
+        tuple_scan = costs.tuple_scan
+        tuple_hash = costs.tuple_hash
+        tuple_move = costs.tuple_move
+        filter_test = costs.filter_test
+        site_ids = [site.node_id for site in self.sites]
+        host_ids = [host.node_id for host in self.host_of]
+        n_entries = len(self.joining_table)
         cutoffs = self.cutoffs()
         bank = self.bank
+        bank_test = bank.test if bank is not None else None
+        hasher = self.driver.hasher(self.level)
+        key = self.driver.outer_key
         driver = self.driver
 
-        def route(row: Row) -> float:
-            h = self.hash_outer(row)
-            cpu = costs.tuple_hash
-            site = self.site_of(h)
-            if bank is not None:
-                cpu += costs.filter_test
-                if not bank.test(site, h):
-                    return cpu
-            cutoff = cutoffs[site]
-            if cutoff is not None and h >= cutoff:
-                cpu += costs.tuple_move
-                spool_router.give(self.host_of[site].node_id, row, h,
-                                  bucket=site)
-                driver.bump("outer_tuples_spooled")
-            else:
-                cpu += costs.tuple_move
-                probe_router.give(sites[site].node_id, row, h)
+        if (predicate is None and bank is None
+                and all(c is None for c in cutoffs)):
+            # No filter, no overflow cutoffs, no predicate: every row
+            # goes to its site for probing at a constant cost.
+            r_const = tuple_hash + tuple_move
+            cpu_for = constant_page_cost(tuple_scan, r_const)
+            give_batch = probe_router.give_batch
+
+            def route_page(page: typing.Sequence[Row]) -> float:
+                hashes = [hasher(row[key]) for row in page]
+                give_batch([site_ids[h % n_entries] for h in hashes],
+                           page, hashes)
+                return cpu_for(len(page))
+
+            return route_page
+
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            p_dsts: list[int] = []
+            p_rows: list[Row] = []
+            p_hashes: list[int] = []
+            s_dsts: list[int] = []
+            s_rows: list[Row] = []
+            s_hashes: list[int] = []
+            s_buckets: list[int] = []
+            for row in page:
+                cpu += tuple_scan
+                if predicate is not None and not predicate(row):
+                    continue
+                h = hasher(row[key])
+                r = tuple_hash
+                site = h % n_entries
+                if bank_test is not None:
+                    r += filter_test
+                    if not bank_test(site, h):
+                        cpu += r
+                        continue
+                cutoff = cutoffs[site]
+                if cutoff is not None and h >= cutoff:
+                    r += tuple_move
+                    s_dsts.append(host_ids[site])
+                    s_rows.append(row)
+                    s_hashes.append(h)
+                    s_buckets.append(site)
+                else:
+                    r += tuple_move
+                    p_dsts.append(site_ids[site])
+                    p_rows.append(row)
+                    p_hashes.append(h)
+                cpu += r
+            if p_rows:
+                probe_router.give_batch(p_dsts, p_rows, p_hashes)
+            if s_rows:
+                spool_router.give_batch(s_dsts, s_rows, s_hashes,
+                                        s_buckets)
+                driver.bump("outer_tuples_spooled", len(s_rows))
             return cpu
 
-        return route
+        return route_page
 
     def probe_consumer(self, site: int, port: str, n_producers: int,
                        store_router: Router) -> typing.Generator:
@@ -316,6 +423,14 @@ class HashJoinRound:
         inner_key = self.driver.inner_key
         outer_key = self.driver.outer_key
         mailbox = machine.registry.mailbox(node.node_id, port)
+        # Per-tuple cost constants and bound methods, hoisted out of
+        # the packet loop (same float values, same addition order).
+        tuple_receive = costs.tuple_receive
+        tuple_probe = costs.tuple_probe
+        tuple_chain_link = costs.tuple_chain_link
+        result_move = costs.tuple_result + costs.tuple_move
+        probe = table.probe
+        give_round_robin = store_router.give_round_robin
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
@@ -326,13 +441,13 @@ class HashJoinRound:
             assert isinstance(message, DataPacket), message
             cpu = 0.0
             for row, h in zip(message.rows, message.hashes):
-                cpu += costs.tuple_receive
-                matches, chain = table.probe(h, row[outer_key], inner_key)
-                cpu += (costs.tuple_probe
-                        + max(0, chain - 1) * costs.tuple_chain_link)
+                cpu += tuple_receive
+                matches, chain = probe(h, row[outer_key], inner_key)
+                cpu += (tuple_probe
+                        + max(0, chain - 1) * tuple_chain_link)
                 for match in matches:
-                    cpu += costs.tuple_result + costs.tuple_move
-                    store_router.give_round_robin(match + row)
+                    cpu += result_move
+                    give_round_robin(match + row)
             yield from node.cpu_use(cpu)
             yield from store_router.flush_ready()
         yield from store_router.close()
@@ -403,8 +518,8 @@ def run_round(driver: "JoinDriver",
                         driver.inner.schema.tuple_bytes)
         producers.append((source.node, scan_pages(
             machine, source.node, source.pages(inner_tpp), [router],
-            round_.build_route(router), read_from_disk=read_from_disk,
-            predicate=source.predicate)))
+            read_from_disk=read_from_disk,
+            route_page=round_.build_route_page(router, source.predicate))))
     consumers = [(sites[j], round_.build_consumer(j, build_port,
                                                   len(r_sources)))
                  for j in range(len(sites))]
@@ -440,9 +555,9 @@ def run_round(driver: "JoinDriver",
         producers.append((source.node, scan_pages(
             machine, source.node, source.pages(outer_tpp),
             [probe_router, spool_router],
-            round_.probe_route(probe_router, spool_router),
             read_from_disk=read_from_disk,
-            predicate=source.predicate)))
+            route_page=round_.probe_route_page(
+                probe_router, spool_router, source.predicate))))
     consumers = []
     for j, site in enumerate(sites):
         store_router = Router(machine, site, driver.disk_nodes,

@@ -34,7 +34,11 @@ from repro.core.planner import BucketPolicy, plan_buckets
 from repro.core.split_table import SplitTable
 from repro.engine.node import Node
 from repro.engine.operators.routing import Router
-from repro.engine.operators.scan import fragment_pages, scan_pages
+from repro.engine.operators.scan import (
+    constant_page_cost,
+    fragment_pages,
+    scan_pages,
+)
 from repro.engine.operators.writers import tempfile_writer
 from repro.storage.files import PagedFile
 
@@ -114,13 +118,14 @@ class GraceHashJoin(JoinDriver):
         for d, node in enumerate(self.disk_nodes):
             router = Router(machine, node, self.disk_nodes, port,
                             tuple_bytes)
-            route = self._forming_route(router, table, key_index,
-                                        forming_bank, build_filter)
+            route_page = self._forming_route_page(
+                router, table, key_index, forming_bank, build_filter,
+                predicate)
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(relation.fragments[d],
                                costs.tuples_per_page(tuple_bytes)),
-                [router], route, predicate=predicate)))
+                [router], route_page=route_page)))
         consumers: list[tuple[Node, typing.Generator]] = []
         for d, node in enumerate(self.disk_nodes):
             node_files = files[d]
@@ -136,26 +141,69 @@ class GraceHashJoin(JoinDriver):
         self.end_phase(stat)
         return files
 
-    def _forming_route(self, router: Router, table: SplitTable,
-                       key_index: int, forming_bank: FilterBank | None,
-                       build_filter: bool
-                       ) -> typing.Callable[[Row], float]:
+    def _forming_route_page(self, router: Router, table: SplitTable,
+                            key_index: int,
+                            forming_bank: FilterBank | None,
+                            build_filter: bool,
+                            predicate: typing.Callable[[Row], bool] | None
+                            ) -> typing.Callable:
+        """Page-level bucket-forming route: one ``give_batch`` per
+        page; per-row float accumulation order matches the per-tuple
+        contract (scan cost, then the route's own sum ``r``)."""
         costs = self.costs
+        tuple_scan = costs.tuple_scan
+        tuple_hash = costs.tuple_hash
+        tuple_move = costs.tuple_move
+        filter_set = costs.filter_set
+        filter_test = costs.filter_test
+        lookup = table.lookup
+        hasher = self.hasher(0)
+        give_batch = router.give_batch
 
-        def route(row: Row) -> float:
-            h = self.hash_value(row[key_index], 0)
-            cpu = costs.tuple_hash
-            entry = table.lookup(h)
-            if forming_bank is not None:
-                if build_filter:
-                    cpu += costs.filter_set
-                    forming_bank.set(entry.bucket, h)
-                else:
-                    cpu += costs.filter_test
-                    if not forming_bank.test(entry.bucket, h):
-                        return cpu
-            cpu += costs.tuple_move
-            router.give(entry.node.node_id, row, h, bucket=entry.bucket)
+        if forming_bank is None and predicate is None:
+            # Constant per-row cost: prefix-table CPU + comprehensions.
+            r_const = tuple_hash + tuple_move
+            cpu_for = constant_page_cost(tuple_scan, r_const)
+
+            def route_page(page: typing.Sequence[Row]) -> float:
+                hashes = [hasher(row[key_index]) for row in page]
+                entries = [lookup(h) for h in hashes]
+                give_batch([e.node.node_id for e in entries], page,
+                           hashes, [e.bucket for e in entries])
+                return cpu_for(len(page))
+
+            return route_page
+
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            dsts: list[int] = []
+            rows: list[Row] = []
+            hashes: list[int] = []
+            buckets: list[int] = []
+            for row in page:
+                cpu += tuple_scan
+                if predicate is not None and not predicate(row):
+                    continue
+                h = hasher(row[key_index])
+                r = tuple_hash
+                entry = lookup(h)
+                if forming_bank is not None:
+                    if build_filter:
+                        r += filter_set
+                        forming_bank.set(entry.bucket, h)
+                    else:
+                        r += filter_test
+                        if not forming_bank.test(entry.bucket, h):
+                            cpu += r
+                            continue
+                r += tuple_move
+                dsts.append(entry.node.node_id)
+                rows.append(row)
+                hashes.append(h)
+                buckets.append(entry.bucket)
+                cpu += r
+            if rows:
+                give_batch(dsts, rows, hashes, buckets)
             return cpu
 
-        return route
+        return route_page

@@ -34,7 +34,11 @@ from repro.core.planner import BucketPolicy, plan_buckets
 from repro.core.split_table import SplitTable
 from repro.engine.node import Node
 from repro.engine.operators.routing import Router
-from repro.engine.operators.scan import fragment_pages, scan_pages
+from repro.engine.operators.scan import (
+    constant_page_cost,
+    fragment_pages,
+    scan_pages,
+)
 from repro.engine.operators.writers import tempfile_writer
 from repro.storage.files import PagedFile
 
@@ -121,13 +125,14 @@ class HybridHashJoin(JoinDriver):
                 temp_router = Router(machine, node, self.disk_nodes,
                                      temp_port, tuple_bytes)
                 routers.append(temp_router)
-            route = self._inner_route(table, build_router, temp_router,
-                                      forming_bank)
+            route_page = self._inner_route_page(
+                table, build_router, temp_router, forming_bank,
+                self.spec.inner_predicate)
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(self.inner.fragments[d],
                                costs.tuples_per_page(tuple_bytes)),
-                routers, route, predicate=self.spec.inner_predicate)))
+                routers, route_page=route_page)))
 
         consumers: list[tuple[Node, typing.Generator]] = [
             (site, round0.build_consumer(j, build_port,
@@ -144,30 +149,82 @@ class HybridHashJoin(JoinDriver):
         self.end_phase(stat)
         return r_files
 
-    def _inner_route(self, table: SplitTable, build_router: Router,
-                     temp_router: Router | None,
-                     forming_bank: FilterBank | None
-                     ) -> typing.Callable[[Row], float]:
+    def _inner_route_page(self, table: SplitTable, build_router: Router,
+                          temp_router: Router | None,
+                          forming_bank: FilterBank | None,
+                          predicate: typing.Callable[[Row], bool] | None
+                          ) -> typing.Callable:
+        """Page-level combined partition/build route: one
+        ``give_batch`` per router per page; per-row float accumulation
+        order matches the per-tuple contract."""
         costs = self.costs
+        tuple_scan = costs.tuple_scan
+        per_tuple = costs.tuple_hash + costs.tuple_move
+        filter_set = costs.filter_set
         key_index = self.inner_key
+        hasher = self.hasher(0)
+        n_entries = len(table)
+        # Without a forming filter the cost is per_tuple on both
+        # branches, so the page CPU comes from a prefix table; the
+        # loop still splits destinations between the two routers.
+        cpu_for = (constant_page_cost(tuple_scan, per_tuple)
+                   if forming_bank is None and predicate is None
+                   else None)
 
-        def route(row: Row) -> float:
-            h = self.hash_value(row[key_index], 0)
-            cpu = costs.tuple_hash + costs.tuple_move
-            index = table.index_for(h)
-            entry = table[index]
-            if entry.bucket == 0:
-                build_router.give(entry.node.node_id, row, h)
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            b_dsts: list[int] = []
+            b_rows: list[Row] = []
+            b_hashes: list[int] = []
+            t_dsts: list[int] = []
+            t_rows: list[Row] = []
+            t_hashes: list[int] = []
+            t_buckets: list[int] = []
+            if cpu_for is not None:
+                for row in page:
+                    h = hasher(row[key_index])
+                    entry = table[h % n_entries]
+                    if entry.bucket == 0:
+                        b_dsts.append(entry.node.node_id)
+                        b_rows.append(row)
+                        b_hashes.append(h)
+                    else:
+                        assert temp_router is not None
+                        t_dsts.append(entry.node.node_id)
+                        t_rows.append(row)
+                        t_hashes.append(h)
+                        t_buckets.append(entry.bucket)
+                cpu = cpu_for(len(page))
             else:
-                if forming_bank is not None:
-                    cpu += costs.filter_set
-                    forming_bank.set(entry.bucket, h)
-                assert temp_router is not None
-                temp_router.give(entry.node.node_id, row, h,
-                                 bucket=entry.bucket)
+                for row in page:
+                    cpu += tuple_scan
+                    if predicate is not None and not predicate(row):
+                        continue
+                    h = hasher(row[key_index])
+                    r = per_tuple
+                    entry = table[h % n_entries]
+                    if entry.bucket == 0:
+                        b_dsts.append(entry.node.node_id)
+                        b_rows.append(row)
+                        b_hashes.append(h)
+                    else:
+                        if forming_bank is not None:
+                            r += filter_set
+                            forming_bank.set(entry.bucket, h)
+                        assert temp_router is not None
+                        t_dsts.append(entry.node.node_id)
+                        t_rows.append(row)
+                        t_hashes.append(h)
+                        t_buckets.append(entry.bucket)
+                    cpu += r
+            if b_rows:
+                build_router.give_batch(b_dsts, b_rows, b_hashes)
+            if t_rows:
+                temp_router.give_batch(t_dsts, t_rows, t_hashes,
+                                       t_buckets)
             return cpu
 
-        return route
+        return route_page
 
     # ------------------------------------------------------------------
     # Phase 2: partition S, probing bucket 1 on the fly
@@ -203,14 +260,14 @@ class HybridHashJoin(JoinDriver):
                 temp_router = Router(machine, node, self.disk_nodes,
                                      temp_port, tuple_bytes)
                 routers.append(temp_router)
-            route = self._outer_route(table, round0, probe_router,
-                                      spool_router, temp_router,
-                                      forming_bank)
+            route_page = self._outer_route_page(
+                table, round0, probe_router, spool_router, temp_router,
+                forming_bank, self.spec.outer_predicate)
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(self.outer.fragments[d],
                                costs.tuples_per_page(tuple_bytes)),
-                routers, route, predicate=self.spec.outer_predicate)))
+                routers, route_page=route_page)))
 
         consumers: list[tuple[Node, typing.Generator]] = []
         for j, site in enumerate(self.join_sites):
@@ -230,47 +287,119 @@ class HybridHashJoin(JoinDriver):
         self.end_phase(stat)
         return s_files
 
-    def _outer_route(self, table: SplitTable, round0: HashJoinRound,
-                     probe_router: Router, spool_router: Router,
-                     temp_router: Router | None,
-                     forming_bank: FilterBank | None
-                     ) -> typing.Callable[[Row], float]:
+    def _outer_route_page(self, table: SplitTable, round0: HashJoinRound,
+                          probe_router: Router, spool_router: Router,
+                          temp_router: Router | None,
+                          forming_bank: FilterBank | None,
+                          predicate: typing.Callable[[Row], bool] | None
+                          ) -> typing.Callable:
+        """Page-level combined partition/probe route: one
+        ``give_batch`` per router per page; per-row float accumulation
+        order matches the per-tuple contract."""
         costs = self.costs
+        tuple_scan = costs.tuple_scan
+        tuple_hash = costs.tuple_hash
+        tuple_move = costs.tuple_move
+        filter_test = costs.filter_test
         key_index = self.outer_key
         cutoffs = round0.cutoffs()
         bank = round0.bank
+        host_ids = [host.node_id for host in round0.host_of]
+        hasher = self.hasher(0)
+        n_entries = len(table)
+        # No filters, no cutoffs, no predicate: constant per-row cost
+        # on every branch — page CPU from a prefix table.
+        cpu_for = (constant_page_cost(tuple_scan,
+                                      tuple_hash + tuple_move)
+                   if (predicate is None and bank is None
+                       and forming_bank is None
+                       and all(c is None for c in cutoffs))
+                   else None)
 
-        def route(row: Row) -> float:
-            h = self.hash_value(row[key_index], 0)
-            cpu = costs.tuple_hash
-            index = table.index_for(h)
-            entry = table[index]
-            if entry.bucket == 0:
-                site = index  # bucket-1 entries are the first J slots
-                if bank is not None:
-                    cpu += costs.filter_test
-                    if not bank.test(site, h):
-                        return cpu
-                cutoff = cutoffs[site]
-                cpu += costs.tuple_move
-                if cutoff is not None and h >= cutoff:
-                    spool_router.give(round0.host_of[site].node_id, row,
-                                      h, bucket=site)
-                    self.bump("outer_tuples_spooled")
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            p_dsts: list[int] = []
+            p_rows: list[Row] = []
+            p_hashes: list[int] = []
+            s_dsts: list[int] = []
+            s_rows: list[Row] = []
+            s_hashes: list[int] = []
+            s_buckets: list[int] = []
+            t_dsts: list[int] = []
+            t_rows: list[Row] = []
+            t_hashes: list[int] = []
+            t_buckets: list[int] = []
+            if cpu_for is not None:
+                for row in page:
+                    h = hasher(row[key_index])
+                    entry = table[h % n_entries]
+                    if entry.bucket == 0:
+                        p_dsts.append(entry.node.node_id)
+                        p_rows.append(row)
+                        p_hashes.append(h)
+                    else:
+                        assert temp_router is not None
+                        t_dsts.append(entry.node.node_id)
+                        t_rows.append(row)
+                        t_hashes.append(h)
+                        t_buckets.append(entry.bucket)
+                if p_rows:
+                    probe_router.give_batch(p_dsts, p_rows, p_hashes)
+                if t_rows:
+                    temp_router.give_batch(t_dsts, t_rows, t_hashes,
+                                           t_buckets)
+                return cpu_for(len(page))
+            for row in page:
+                cpu += tuple_scan
+                if predicate is not None and not predicate(row):
+                    continue
+                h = hasher(row[key_index])
+                r = tuple_hash
+                index = h % n_entries
+                entry = table[index]
+                if entry.bucket == 0:
+                    site = index  # bucket-1 entries are the first J slots
+                    if bank is not None:
+                        r += filter_test
+                        if not bank.test(site, h):
+                            cpu += r
+                            continue
+                    cutoff = cutoffs[site]
+                    r += tuple_move
+                    if cutoff is not None and h >= cutoff:
+                        s_dsts.append(host_ids[site])
+                        s_rows.append(row)
+                        s_hashes.append(h)
+                        s_buckets.append(site)
+                    else:
+                        p_dsts.append(entry.node.node_id)
+                        p_rows.append(row)
+                        p_hashes.append(h)
                 else:
-                    probe_router.give(entry.node.node_id, row, h)
-            else:
-                if forming_bank is not None:
-                    cpu += costs.filter_test
-                    if not forming_bank.test(entry.bucket, h):
-                        return cpu
-                cpu += costs.tuple_move
-                assert temp_router is not None
-                temp_router.give(entry.node.node_id, row, h,
-                                 bucket=entry.bucket)
+                    if forming_bank is not None:
+                        r += filter_test
+                        if not forming_bank.test(entry.bucket, h):
+                            cpu += r
+                            continue
+                    r += tuple_move
+                    assert temp_router is not None
+                    t_dsts.append(entry.node.node_id)
+                    t_rows.append(row)
+                    t_hashes.append(h)
+                    t_buckets.append(entry.bucket)
+                cpu += r
+            if p_rows:
+                probe_router.give_batch(p_dsts, p_rows, p_hashes)
+            if s_rows:
+                spool_router.give_batch(s_dsts, s_rows, s_hashes,
+                                        s_buckets)
+                self.bump("outer_tuples_spooled", len(s_rows))
+            if t_rows:
+                temp_router.give_batch(t_dsts, t_rows, t_hashes,
+                                       t_buckets)
             return cpu
 
-        return route
+        return route_page
 
     # ------------------------------------------------------------------
     # Shared bits

@@ -38,7 +38,11 @@ from repro.core.bit_filter import FilterBank
 from repro.core.joins.base import JoinConfigError, JoinDriver
 from repro.engine.node import Node
 from repro.engine.operators.routing import Router
-from repro.engine.operators.scan import fragment_pages, scan_pages
+from repro.engine.operators.scan import (
+    constant_page_cost,
+    fragment_pages,
+    scan_pages,
+)
 from repro.engine.operators.writers import tempfile_writer
 from repro.storage.files import PagedFile
 from repro.storage.sort import plan_external_sort, sort_rows
@@ -113,12 +117,13 @@ class SortMergeJoin(JoinDriver):
         for d, node in enumerate(self.disk_nodes):
             router = Router(machine, node, self.disk_nodes, port,
                             tuple_bytes)
-            route = self._partition_route(router, key_index, test_bank)
+            route_page = self._partition_route_page(router, key_index,
+                                                    test_bank, predicate)
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(relation.fragments[d],
                                costs.tuples_per_page(tuple_bytes)),
-                [router], route, predicate=predicate)))
+                [router], route_page=route_page)))
         consumers: list[tuple[Node, typing.Generator]] = []
         for d, node in enumerate(self.disk_nodes):
             hook = None
@@ -139,26 +144,63 @@ class SortMergeJoin(JoinDriver):
         self.end_phase(stat)
         return files
 
-    def _partition_route(self, router: Router, key_index: int,
-                         test_bank: FilterBank | None
-                         ) -> typing.Callable[[Row], float]:
+    def _partition_route_page(self, router: Router, key_index: int,
+                              test_bank: FilterBank | None,
+                              predicate: typing.Callable[[Row], bool] | None
+                              ) -> typing.Callable:
+        """Page-level range-partitioning route: one ``give_batch`` per
+        page; per-row float accumulation order matches the per-tuple
+        contract."""
         costs = self.costs
+        tuple_scan = costs.tuple_scan
+        tuple_hash = costs.tuple_hash
+        tuple_move = costs.tuple_move
+        filter_test = costs.filter_test
         num_sites = len(self.disk_nodes)
-        nodes = self.disk_nodes
+        node_ids = [node.node_id for node in self.disk_nodes]
+        hasher = self.hasher(0)
+        give_batch = router.give_batch
 
-        def route(row: Row) -> float:
-            h = self.hash_value(row[key_index], 0)
-            cpu = costs.tuple_hash
-            site = h % num_sites
-            if test_bank is not None:
-                cpu += costs.filter_test
-                if not test_bank.test(site, h):
-                    return cpu
-            cpu += costs.tuple_move
-            router.give(nodes[site].node_id, row, h)
+        if test_bank is None and predicate is None:
+            # Constant per-row cost: prefix-table CPU + comprehensions.
+            r_const = tuple_hash + tuple_move
+            cpu_for = constant_page_cost(tuple_scan, r_const)
+
+            def route_page(page: typing.Sequence[Row]) -> float:
+                hashes = [hasher(row[key_index]) for row in page]
+                give_batch([node_ids[h % num_sites] for h in hashes],
+                           page, hashes)
+                return cpu_for(len(page))
+
+            return route_page
+
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            dsts: list[int] = []
+            rows: list[Row] = []
+            hashes: list[int] = []
+            for row in page:
+                cpu += tuple_scan
+                if predicate is not None and not predicate(row):
+                    continue
+                h = hasher(row[key_index])
+                r = tuple_hash
+                site = h % num_sites
+                if test_bank is not None:
+                    r += filter_test
+                    if not test_bank.test(site, h):
+                        cpu += r
+                        continue
+                r += tuple_move
+                dsts.append(node_ids[site])
+                rows.append(row)
+                hashes.append(h)
+                cpu += r
+            if rows:
+                give_batch(dsts, rows, hashes)
             return cpu
 
-        return route
+        return route_page
 
     # ------------------------------------------------------------------
     # Phase 2/4: parallel local external sorts

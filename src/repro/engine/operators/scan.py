@@ -42,12 +42,46 @@ def chain_file_pages(files: typing.Sequence[PagedFile]
         yield from file.pages()
 
 
+#: Page-level callback: handles a whole page (scan CPU, predicate,
+#: hashing, routing) and returns the page's total CPU seconds.  The
+#: float accumulation order inside must match the per-tuple contract
+#: (``cpu += tuple_scan`` then ``cpu += route(row)`` per row) so
+#: simulated times stay bit-identical.
+RoutePageFn = typing.Callable[[typing.Sequence[Row]], float]
+
+
+def constant_page_cost(*adds: float) -> typing.Callable[[int], float]:
+    """Prefix table of a constant per-row cost sequence.
+
+    ``cpu_for(n)`` returns the float produced by ``n`` repetitions of
+    ``cpu += adds[0]; cpu += adds[1]; ...`` starting from ``0.0`` — the
+    exact addition sequence the per-row scan contract performs — so a
+    route builder whose per-row cost is row-independent (no predicate,
+    no filter, no cutoffs) can charge a whole page in O(1) float work
+    without perturbing a single bit of the accumulated total.  The
+    table grows lazily to the largest page seen.
+    """
+    cum = [0.0]
+
+    def cpu_for(n: int) -> float:
+        if n >= len(cum):
+            c = cum[-1]
+            for _ in range(len(cum), n + 1):
+                for add in adds:
+                    c += add
+                cum.append(c)
+        return cum[n]
+
+    return cpu_for
+
+
 def scan_pages(machine: "GammaMachine", node: Node,
                pages: typing.Iterable[typing.Sequence[Row]],
                routers: typing.Sequence[Router],
-               route: RouteFn,
+               route: RouteFn | None = None,
                read_from_disk: bool = True,
                predicate: typing.Callable[[Row], bool] | None = None,
+               route_page: RoutePageFn | None = None,
                ) -> typing.Generator:
     """Scan ``pages`` on ``node``, routing each qualifying tuple.
 
@@ -60,7 +94,8 @@ def scan_pages(machine: "GammaMachine", node: Node,
         Every router the callback may buffer into; each is flushed
         after every page and closed at end of scan.
     route:
-        Per-tuple callback; returns extra CPU seconds.
+        Per-tuple callback; returns extra CPU seconds.  Ignored when
+        ``route_page`` is given.
     read_from_disk:
         False for already-in-memory feeds (e.g. probing directly from
         a received stream); True charges one sequential page read per
@@ -69,18 +104,34 @@ def scan_pages(machine: "GammaMachine", node: Node,
         Optional selection predicate evaluated at the scan site
         (Gamma runs selections only on processors with disks, §2.1);
         non-qualifying tuples cost their scan CPU but are not routed.
+        Ignored when ``route_page`` is given (page callbacks evaluate
+        the predicate themselves).
+    route_page:
+        Page-level callback (the fast lane used by the join drivers):
+        one call covers the whole page's scan CPU, predicate, hashing
+        and routing, returning the page's total CPU seconds.
     """
     costs = machine.costs
+    if route_page is None:
+        if route is None:
+            raise TypeError("scan_pages needs either route or route_page")
+        tuple_scan = costs.tuple_scan
+
+        def route_page(page: typing.Sequence[Row]) -> float:
+            cpu = 0.0
+            for row in page:
+                cpu += tuple_scan
+                if predicate is not None and not predicate(row):
+                    continue
+                cpu += route(row)
+            return cpu
+
+    cpu_use = node.cpu_use
+    disk = node.require_disk() if read_from_disk else None
     for page in pages:
-        if read_from_disk:
-            yield from node.require_disk().read_pages(1, sequential=True)
-        cpu = 0.0
-        for row in page:
-            cpu += costs.tuple_scan
-            if predicate is not None and not predicate(row):
-                continue
-            cpu += route(row)
-        yield from node.cpu_use(cpu)
+        if disk is not None:
+            yield from disk.read_pages(1, sequential=True)
+        yield from cpu_use(route_page(page))
         for router in routers:
             yield from router.flush_ready()
     for router in routers:

@@ -86,11 +86,13 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
         raise ValueError(f"writer on {port!r} needs >= 1 producer")
     disk = node.require_disk()
     costs = machine.costs
+    tuple_store = costs.tuple_store
+    receive_charge = machine.network.receive_charge
     mailbox = machine.registry.mailbox(node.node_id, port)
     eos_remaining = n_producers
     while eos_remaining > 0:
         message = yield mailbox.get()
-        yield from machine.network.receive_charge(node.node_id, message)
+        yield from receive_charge(node.node_id, message)
         if isinstance(message, EndOfStream):
             eos_remaining -= 1
             continue
@@ -99,7 +101,7 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
             stats.tuples_received += len(message.rows)
             if message.src_node == node.node_id:
                 stats.tuples_local += len(message.rows)
-        cpu = len(message.rows) * costs.tuple_store
+        cpu = len(message.rows) * tuple_store
         if per_tuple_hook is not None:
             for row, hash_code in zip(message.rows, message.hashes):
                 cpu += per_tuple_hook(row, hash_code)

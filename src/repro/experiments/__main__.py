@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -42,18 +43,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify every join's result rows against a reference "
              "join (slower)")
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run independent sweep points in N worker processes "
+             "(default: REPRO_JOBS or 1; simulated results are "
+             "identical at any job count)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile each experiment (cProfile hot spots + "
+             "simulation-kernel counters)")
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="also write each report to <out>/<experiment>.txt")
     return parser
+
+
+def _iter_sweep_points(outcome):
+    """Every SweepPoint reachable from an experiment outcome."""
+    if isinstance(outcome, (list, tuple)):
+        for item in outcome:
+            yield from _iter_sweep_points(item)
+        return
+    for series in getattr(outcome, "series", ()):
+        yield from series.points
+
+
+def _kernel_summary(outcome) -> str | None:
+    """Aggregate per-point kernel counters (profile mode only)."""
+    totals: dict[str, int] = {}
+    points = 0
+    for point in _iter_sweep_points(outcome):
+        if point.kernel_counters is None:
+            continue
+        points += 1
+        for key, value in point.kernel_counters.items():
+            if key == "heap_peak":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    if not points:
+        return None
+    body = "  ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+    return f"## kernel ({points} points): {body}"
 
 
 def run_experiment(name: str, config: ExperimentConfig,
                    out_dir: pathlib.Path | None) -> None:
     entry = EXPERIMENTS[name]
     started = time.perf_counter()
-    outcome = entry.run(config)
+    if config.profile:
+        import cProfile
+        import io
+        import pstats
+        profiler = cProfile.Profile()
+        profiler.enable()
+        outcome = entry.run(config)
+        profiler.disable()
+    else:
+        outcome = entry.run(config)
     elapsed = time.perf_counter() - started
     text = render(outcome)
+    if config.profile:
+        summary = _kernel_summary(outcome)
+        if summary:
+            text += "\n\n" + summary
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats(
+            "tottime").print_stats(15)
+        text += "\n\n## cProfile hot spots\n" + stream.getvalue()
     banner = (f"## {entry.name} — {entry.description}\n"
               f"## scale={config.scale} seed={config.seed} "
               f"(wall {elapsed:.1f}s)\n")
@@ -74,8 +130,14 @@ def main(argv: list[str] | None = None) -> int:
         for name, entry in EXPERIMENTS.items():
             print(f"{name:<{width}}  {entry.description}")
         return 0
+    jobs = args.jobs
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", 1))
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
     config = ExperimentConfig(scale=args.scale, seed=args.seed,
-                              verify_results=args.verify)
+                              verify_results=args.verify,
+                              jobs=jobs, profile=args.profile)
     if args.experiment == "all":
         names = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:

@@ -38,14 +38,25 @@ class ExperimentConfig:
     #: Verify every join's result rows against the reference join.
     #: Exhaustive but slower; the CLI enables it with --verify.
     verify_results: bool = False
+    #: Worker processes for independent sweep points (1 = in-process).
+    #: Simulated times are identical at any job count — each point is
+    #: a self-contained deterministic simulation; parallelism only
+    #: changes which OS process runs it.  Set via ``REPRO_JOBS`` or
+    #: the CLI's ``--jobs``.
+    jobs: int = 1
+    #: Collect per-point kernel counters and emit cProfile output
+    #: (the CLI's ``--profile``).
+    profile: bool = False
 
     @classmethod
     def from_environment(cls, default_scale: float = 1.0
                          ) -> "ExperimentConfig":
-        """Build a config honouring ``REPRO_SCALE`` / ``REPRO_SEED``."""
+        """Build a config honouring ``REPRO_SCALE`` / ``REPRO_SEED`` /
+        ``REPRO_JOBS``."""
         scale = float(os.environ.get("REPRO_SCALE", default_scale))
         seed = int(os.environ.get("REPRO_SEED", 1))
-        return cls(scale=scale, seed=seed)
+        jobs = int(os.environ.get("REPRO_JOBS", 1))
+        return cls(scale=scale, seed=seed, jobs=jobs)
 
     def scaled_ratios(self) -> tuple:
         return tuple(self.memory_ratios)

@@ -14,8 +14,11 @@ from repro.experiments.config import (
     FIGURE7_RATIOS,
     ExperimentConfig,
 )
-from repro.experiments.runner import Series, run_sweep_point
-from repro.wisconsin.database import WisconsinDatabase
+from repro.experiments.runner import (
+    Series,
+    SweepJob,
+    run_sweep_points,
+)
 
 #: Paper ordering of the four algorithms in Figures 5/6/8/9.
 ALL_ALGORITHMS = ("hybrid", "grace", "simple", "sort-merge")
@@ -47,20 +50,32 @@ class Figure:
 # Figures 5/6/8/9: the four algorithms, local configuration
 # ---------------------------------------------------------------------------
 
+def _gather_series(config: ExperimentConfig,
+                   labelled_jobs: "list[tuple[str, SweepJob]]"
+                   ) -> list[Series]:
+    """Run labelled sweep jobs (parallel when ``config.jobs > 1``) and
+    group the ordered results back into one Series per label."""
+    points = run_sweep_points(config, [job for _, job in labelled_jobs])
+    all_series: list[Series] = []
+    by_label: dict = {}
+    for (label, _), point in zip(labelled_jobs, points):
+        series = by_label.get(label)
+        if series is None:
+            series = by_label[label] = Series(label=label)
+            all_series.append(series)
+        series.add(point)
+    return all_series
+
+
 def _local_sweep(config: ExperimentConfig, hpja: bool,
                  bit_filters: bool) -> list[Series]:
-    db = WisconsinDatabase.joinabprime(
-        config.num_disk_nodes, scale=config.scale, seed=config.seed,
-        hpja=hpja)
-    all_series = []
-    for algorithm in ALL_ALGORITHMS:
-        series = Series(label=algorithm)
-        for ratio in config.memory_ratios:
-            series.add(run_sweep_point(
-                config, db, algorithm, ratio,
-                bit_filters=bit_filters))
-        all_series.append(series)
-    return all_series
+    jobs = [
+        (algorithm, SweepJob(
+            algorithm=algorithm, memory_ratio=ratio, hpja=hpja,
+            spec_kwargs=(("bit_filters", bit_filters),)))
+        for algorithm in ALL_ALGORITHMS
+        for ratio in config.memory_ratios]
+    return _gather_series(config, jobs)
 
 
 def figure5(config: ExperimentConfig) -> Figure:
@@ -124,18 +139,16 @@ def figure7(config: ExperimentConfig) -> Figure:
     line between the optimal endpoints (1.0 and 0.5) is the perfect-
     partitioning bound.
     """
-    db = WisconsinDatabase.joinabprime(
-        config.num_disk_nodes, scale=config.scale, seed=config.seed,
-        hpja=True)
-    optimistic = Series(label="hybrid-overflow (optimistic)")
-    pessimistic = Series(label="hybrid-2-buckets (pessimistic)")
+    jobs = []
     for ratio in FIGURE7_RATIOS:
-        optimistic.add(run_sweep_point(
-            config, db, "hybrid", ratio,
-            bucket_policy="optimistic", capacity_slack=1.0))
-        pessimistic.add(run_sweep_point(
-            config, db, "hybrid", ratio,
-            bucket_policy="pessimistic"))
+        jobs.append(("hybrid-overflow (optimistic)", SweepJob(
+            algorithm="hybrid", memory_ratio=ratio,
+            spec_kwargs=(("bucket_policy", "optimistic"),
+                         ("capacity_slack", 1.0)))))
+        jobs.append(("hybrid-2-buckets (pessimistic)", SweepJob(
+            algorithm="hybrid", memory_ratio=ratio,
+            spec_kwargs=(("bucket_policy", "pessimistic"),))))
+    optimistic, pessimistic = _gather_series(config, jobs)
     optimal = Series(label="optimal (perfect partitioning)")
     low = pessimistic.y_at(0.5)
     high = optimistic.y_at(1.0)
@@ -197,18 +210,14 @@ def figures10_13(config: ExperimentConfig) -> list[Figure]:
 
 def figure14(config: ExperimentConfig) -> Figure:
     """Figure 14: remote joins, HPJA vs non-HPJA (Hybrid/Simple/Grace)."""
-    series = []
-    for hpja, suffix in ((True, "HPJA"), (False, "non-HPJA")):
-        db = WisconsinDatabase.joinabprime(
-            config.num_disk_nodes, scale=config.scale,
-            seed=config.seed, hpja=hpja)
-        for algorithm in HASH_ALGORITHMS:
-            line = Series(label=f"{algorithm} ({suffix})")
-            for ratio in config.memory_ratios:
-                line.add(run_sweep_point(
-                    config, db, algorithm, ratio,
-                    configuration="remote"))
-            series.append(line)
+    jobs = [
+        (f"{algorithm} ({suffix})", SweepJob(
+            algorithm=algorithm, memory_ratio=ratio,
+            configuration="remote", hpja=hpja))
+        for hpja, suffix in ((True, "HPJA"), (False, "non-HPJA"))
+        for algorithm in HASH_ALGORITHMS
+        for ratio in config.memory_ratios]
+    series = _gather_series(config, jobs)
     return Figure(
         name="figure14",
         title="Remote joins: HPJA vs non-HPJA",
@@ -223,19 +232,14 @@ def figure14(config: ExperimentConfig) -> Figure:
 
 def _local_vs_remote(config: ExperimentConfig, hpja: bool
                      ) -> list[Series]:
-    db = WisconsinDatabase.joinabprime(
-        config.num_disk_nodes, scale=config.scale, seed=config.seed,
-        hpja=hpja)
-    series = []
-    for algorithm in HASH_ALGORITHMS:
-        for configuration in ("local", "remote"):
-            line = Series(label=f"{algorithm} ({configuration})")
-            for ratio in config.memory_ratios:
-                line.add(run_sweep_point(
-                    config, db, algorithm, ratio,
-                    configuration=configuration))
-            series.append(line)
-    return series
+    jobs = [
+        (f"{algorithm} ({configuration})", SweepJob(
+            algorithm=algorithm, memory_ratio=ratio,
+            configuration=configuration, hpja=hpja))
+        for algorithm in HASH_ALGORITHMS
+        for configuration in ("local", "remote")
+        for ratio in config.memory_ratios]
+    return _gather_series(config, jobs)
 
 
 def figure15(config: ExperimentConfig) -> Figure:

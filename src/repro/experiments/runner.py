@@ -11,6 +11,7 @@ reference join, and keeps the full :class:`~repro.core.joins.base
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import typing
 
@@ -28,6 +29,10 @@ class SweepPoint:
     x: float
     response_time: float
     result: JoinResult | None = None
+    #: Simulation-kernel diagnostics for this point (events fired,
+    #: fast-path holds, heap peak) — collected when the config's
+    #: ``profile`` flag is on.
+    kernel_counters: dict | None = None
 
     def __iter__(self):
         return iter((self.x, self.response_time))
@@ -124,4 +129,78 @@ def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
         assert_same_result(result.result_rows, db.expected_result_rows)
     return SweepPoint(x=memory_ratio,
                       response_time=result.response_time,
-                      result=result if keep_result else None)
+                      result=result if keep_result else None,
+                      kernel_counters=(machine.sim.kernel_counters()
+                                       if config.profile else None))
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep execution
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SweepJob:
+    """A picklable description of one sweep point.
+
+    Carries everything a worker process needs to reproduce the point
+    from scratch: the database is *not* shipped — workers rebuild the
+    Wisconsin relations from ``(num_disk_nodes, scale, seed, hpja)``,
+    which is deterministic, and cache them per process.  ``spec_kwargs``
+    is a tuple of (name, value) pairs so the job hashes and pickles.
+    """
+
+    algorithm: str
+    memory_ratio: float
+    configuration: str = "local"
+    hpja: bool = True
+    keep_result: bool = True
+    spec_kwargs: tuple = ()
+
+
+#: Per-process cache of generated databases, keyed by the parameters
+#: that determine their content.  Populated lazily in each worker (and
+#: in the parent for in-process runs); entries are immutable inputs so
+#: sharing across sweeps is safe.
+_DB_CACHE: dict = {}
+
+
+def sweep_database(config: ExperimentConfig, hpja: bool
+                   ) -> WisconsinDatabase:
+    """The (cached) joinABprime database for this config."""
+    key = (config.num_disk_nodes, config.scale, config.seed, hpja)
+    db = _DB_CACHE.get(key)
+    if db is None:
+        db = WisconsinDatabase.joinabprime(
+            config.num_disk_nodes, scale=config.scale,
+            seed=config.seed, hpja=hpja)
+        _DB_CACHE[key] = db
+    return db
+
+
+def _run_job(config: ExperimentConfig, job: SweepJob) -> SweepPoint:
+    """Worker entry point: rebuild inputs, run one point."""
+    db = sweep_database(config, job.hpja)
+    return run_sweep_point(
+        config, db, job.algorithm, job.memory_ratio,
+        configuration=job.configuration,
+        keep_result=job.keep_result,
+        **dict(job.spec_kwargs))
+
+
+def run_sweep_points(config: ExperimentConfig,
+                     jobs: typing.Sequence[SweepJob]
+                     ) -> list[SweepPoint]:
+    """Run independent sweep points, optionally across processes.
+
+    With ``config.jobs > 1`` the points are farmed to a
+    ``ProcessPoolExecutor``; each worker seeds and caches its own copy
+    of the database and runs its points as self-contained simulations,
+    so every simulated response time is identical to the sequential
+    run — results are returned in job order either way.
+    """
+    n_workers = min(config.jobs, len(jobs))
+    if n_workers <= 1:
+        return [_run_job(config, job) for job in jobs]
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers) as pool:
+        return list(pool.map(_run_job, [config] * len(jobs), jobs))

@@ -129,6 +129,42 @@ HASH_FAMILIES = {
 }
 
 
+def make_hasher(level: int):
+    """A level-bound fast hasher for the avalanche family.
+
+    The per-tuple routing loops call the hash function once per tuple;
+    binding the level multiplier once per page sweep avoids the
+    ``level_multiplier`` recomputation and family dispatch on every
+    call.  Produces bit-identical values to ``hash_value(v, level)``.
+    """
+    multiplier = level_multiplier(level)
+
+    def hashed(value):
+        if type(value) is int:
+            return (value * multiplier) & _MASK
+        return hash_value(value, level)
+
+    return hashed
+
+
+def make_legacy_hasher(level: int):
+    """Level-bound dispatch for the legacy family."""
+    if level < 0:
+        raise ValueError(f"hash level must be >= 0, got {level}")
+
+    def hashed(value):
+        return legacy_hash_value(value, level)
+
+    return hashed
+
+
+#: Level-bound hasher factories, keyed like :data:`HASH_FAMILIES`.
+HASH_FAMILY_HASHERS = {
+    "avalanche": make_hasher,
+    "legacy": make_legacy_hasher,
+}
+
+
 def remix(hash_code: int) -> int:
     """A second, independent scrambling of an existing hash code.
 

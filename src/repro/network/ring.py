@@ -28,8 +28,12 @@ class TokenRing:
         self.packets_carried = 0
         self.bytes_carried = 0
 
-    def transmit(self, payload_bytes: int) -> typing.Generator:
-        """Hold the ring for one packet's transmission time."""
+    def transmit(self, payload_bytes: int) -> typing.Iterable:
+        """Hold the ring for one packet's transmission time.
+
+        Returns the medium's hold iterable directly (``yield from`` it);
+        traffic is counted at issue time.
+        """
         if payload_bytes <= 0:
             raise ValueError(
                 f"packet payload must be positive: {payload_bytes}")
@@ -38,9 +42,9 @@ class TokenRing:
                 f"payload of {payload_bytes} bytes exceeds the "
                 f"{self.costs.packet_size}-byte ring packet; fragment "
                 "the message first")
-        yield from self.medium.use(self.costs.packet_wire_time(payload_bytes))
         self.packets_carried += 1
         self.bytes_carried += payload_bytes
+        return self.medium.use(self.costs.packet_wire_time(payload_bytes))
 
     def utilisation(self) -> float:
         """Fraction of elapsed time the ring has been busy."""

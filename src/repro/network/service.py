@@ -128,13 +128,15 @@ class NetworkService:
         self.registry.mailbox(dst_node, port).put(message)
 
     def receive_charge(self, dst_node: int, message: Message
-                       ) -> typing.Generator:
-        """Charge the receiver's protocol CPU for one dequeued message."""
+                       ) -> typing.Iterable:
+        """Charge the receiver's protocol CPU for one dequeued message.
+
+        Returns the CPU hold iterable directly (``yield from`` it)."""
         src = getattr(message, "src_node", dst_node)
         local = src == dst_node
         cost = (self.costs.packet_shortcircuit if local
                 else self.costs.packet_protocol_receive)
-        yield from self._cpu(dst_node).use(cost)
+        return self._cpu(dst_node).use(cost)
 
     # -- pure-cost control transfers -----------------------------------------
 

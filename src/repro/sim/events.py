@@ -38,7 +38,8 @@ class Event:
         and may only be waited on by processes of that simulator.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_fired")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_fired", "_hold")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -47,6 +48,10 @@ class Event:
         self._ok = True
         self._triggered = False
         self._fired = False
+        # Kernel fast path (see Simulator.run): when set, the first
+        # heap pop re-keys this event ``_hold`` seconds later instead
+        # of firing it — the grant-and-hold lane of Resource.use.
+        self._hold: float | None = None
 
     # -- state inspection -------------------------------------------------
 

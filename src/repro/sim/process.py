@@ -64,13 +64,20 @@ class Process(Event):
         return not self.triggered
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator by one event."""
+        """Advance the generator by one event.
+
+        Hot path: runs once per fired event, so the event state is read
+        through slots rather than the public properties and the
+        generator methods are hoisted out of the loop.
+        """
+        generator = self.generator
+        send = generator.send
         while True:
             try:
-                if event.ok:
-                    target = self.generator.send(event.value)
+                if event._ok:
+                    target = send(event._value)
                 else:
-                    target = self.generator.throw(event.value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -82,7 +89,15 @@ class Process(Event):
                 # simulator raises before any waiter observes this.
                 self.fail(self.crash_error)
                 return
-            if not isinstance(target, Event):
+            try:
+                if target._fired:
+                    # The event already happened — continue
+                    # synchronously with its value, not re-queueing.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                return
+            except AttributeError:
                 error = TypeError(
                     f"process {self.name!r} yielded {target!r}; processes "
                     "may only yield Event instances")
@@ -90,13 +105,6 @@ class Process(Event):
                 self.sim._crashed.append(self)
                 self.fail(self.crash_error)
                 return
-            if target.fired:
-                # The event already happened — continue synchronously
-                # with its value rather than re-queueing.
-                event = target
-                continue
-            target.callbacks.append(self._resume)
-            return
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"

@@ -64,10 +64,14 @@ class PagedFile:
 
     def extend(self, rows: typing.Iterable[Row]) -> int:
         """Append many tuples; returns the number of pages completed."""
-        completed = 0
-        for row in rows:
-            if self.append(row):
-                completed += 1
+        if self.closed:
+            raise RuntimeError(f"append to closed file {self.name!r}")
+        mine = self.rows
+        before = len(mine)
+        mine.extend(rows)
+        per_page = self.tuples_per_page
+        completed = len(mine) // per_page - before // per_page
+        self._pages_flushed += completed
         return completed
 
     def close(self) -> int:

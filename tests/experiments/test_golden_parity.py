@@ -1,0 +1,109 @@
+"""Golden parity: the optimized kernel reproduces the seed's numbers.
+
+The kernel fast paths (grant-and-hold events, urgent lane, page-level
+routing — see DESIGN.md) are pure constant-factor work: every simulated
+``response_time`` must stay bit-identical to the values the unoptimized
+implementation produced.  Two independent anchors enforce that:
+
+* ``benchmarks/results/golden_scale0.1.json`` — full-precision
+  ``repr()`` of every figure-5/7/14 response time, recorded before the
+  fast paths existed;
+* ``benchmarks/results/figure5.txt`` / ``figure7.txt`` — the rendered
+  reports checked in with the seed, compared at their 2-decimal
+  precision.
+
+Both are checked with the fast paths on (default) and off
+(``REPRO_FASTPATH=0``, the classic request→grant→timeout→release
+kernel), so the switch itself is also covered.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+
+RESULTS = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
+CONFIG = ExperimentConfig(scale=0.1, seed=1)
+
+#: (figure, REPRO_FASTPATH) combinations under test.  The classic mode
+#: is the seed code path; figure14 (the slowest sweep — 36 remote
+#: points) is exercised in fast-path mode only.
+SCENARIOS = [
+    ("figure5", "1"),
+    ("figure5", "0"),
+    ("figure7", "1"),
+    ("figure7", "0"),
+    ("figure14", "1"),
+]
+
+_CACHE: dict = {}
+
+
+def sweep(name: str, fastpath: str, monkeypatch) -> figures.Figure:
+    key = (name, fastpath)
+    if key not in _CACHE:
+        monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+        _CACHE[key] = getattr(figures, name)(CONFIG)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def golden() -> dict:
+    with open(RESULTS / "golden_scale0.1.json") as fh:
+        return json.load(fh)["figures"]
+
+
+@pytest.mark.parametrize("name,fastpath", SCENARIOS)
+def test_bit_identical_to_golden(name, fastpath, golden, monkeypatch):
+    figure = sweep(name, fastpath, monkeypatch)
+    expected = golden[name]
+    assert {s.label for s in figure.series} == set(expected)
+    for series in figure.series:
+        want = expected[series.label]
+        assert len(series.points) == len(want)
+        for point in series.points:
+            assert repr(point.response_time) == want[repr(point.x)], (
+                f"{name}/{series.label} diverged at x={point.x} "
+                f"(REPRO_FASTPATH={fastpath})")
+
+
+def _parse_rendered(path: pathlib.Path) -> dict[str, list[float]]:
+    """Series label -> row of 2-decimal response times, column order."""
+    rows: dict[str, list[float]] = {}
+    n_columns = None
+    for line in path.read_text().splitlines():
+        if line.startswith("series"):
+            n_columns = len(line.split()) - 1
+            continue
+        if n_columns is None or not line.strip():
+            if rows:
+                break
+            continue
+        parts = re.split(r"\s{2,}", line.strip())
+        if len(parts) != n_columns + 1:
+            continue
+        try:
+            rows[parts[0]] = [float(v) for v in parts[1:]]
+        except ValueError:
+            continue
+    assert rows, f"no series rows parsed from {path}"
+    return rows
+
+
+@pytest.mark.parametrize("name,fastpath",
+                         [s for s in SCENARIOS if s[0] != "figure14"])
+def test_matches_rendered_report(name, fastpath, monkeypatch):
+    figure = sweep(name, fastpath, monkeypatch)
+    stored = _parse_rendered(RESULTS / f"{name}.txt")
+    for series in figure.series:
+        row = stored[series.label]
+        assert len(row) == len(series.points)
+        for point, value in zip(series.points, row):
+            assert f"{point.response_time:.2f}" == f"{value:.2f}", (
+                f"{name}/{series.label} at x={point.x}")

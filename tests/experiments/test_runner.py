@@ -1,5 +1,7 @@
 """Tests for sweep containers and the point runner."""
 
+import dataclasses
+
 import pytest
 
 from repro.experiments.config import (
@@ -8,10 +10,13 @@ from repro.experiments.config import (
 )
 from repro.experiments.runner import (
     Series,
+    SweepJob,
     SweepPoint,
     Table,
     build_machine,
     run_sweep_point,
+    run_sweep_points,
+    sweep_database,
 )
 from repro.wisconsin.database import WisconsinDatabase
 
@@ -32,9 +37,11 @@ class TestConfig:
     def test_from_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.25")
         monkeypatch.setenv("REPRO_SEED", "9")
+        monkeypatch.setenv("REPRO_JOBS", "3")
         config = ExperimentConfig.from_environment()
         assert config.scale == 0.25
         assert config.seed == 9
+        assert config.jobs == 3
 
     def test_environment_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_SCALE", raising=False)
@@ -102,3 +109,43 @@ class TestRunSweepPoint:
         point = run_sweep_point(CONFIG, db, "hybrid", 1.0,
                                 keep_result=False)
         assert point.result is None
+
+    def test_kernel_counters_in_profile_mode(self, db):
+        config = ExperimentConfig(scale=0.01, seed=3,
+                                  num_disk_nodes=4, profile=True)
+        point = run_sweep_point(config, db, "hybrid", 1.0)
+        assert point.kernel_counters is not None
+        assert point.kernel_counters["events_fired"] > 0
+        assert point.kernel_counters["queued_events"] == 0
+
+
+class TestParallelSweep:
+    JOBS = [
+        SweepJob(algorithm="hybrid", memory_ratio=1.0),
+        SweepJob(algorithm="grace", memory_ratio=0.5),
+        SweepJob(algorithm="simple", memory_ratio=1.0,
+                 spec_kwargs=(("bit_filters", True),)),
+        SweepJob(algorithm="hybrid", memory_ratio=1.0,
+                 configuration="remote"),
+    ]
+
+    def test_database_cache_reuses_instances(self):
+        assert sweep_database(CONFIG, True) is sweep_database(
+            CONFIG, True)
+        assert sweep_database(CONFIG, True) is not sweep_database(
+            CONFIG, False)
+
+    def test_workers_match_sequential_bit_for_bit(self):
+        sequential = run_sweep_points(CONFIG, self.JOBS)
+        parallel = run_sweep_points(
+            dataclasses.replace(CONFIG, jobs=2), self.JOBS)
+        assert len(parallel) == len(self.JOBS)
+        for seq, par in zip(sequential, parallel):
+            assert repr(seq.response_time) == repr(par.response_time)
+            assert par.result is not None
+            assert par.result.algorithm == seq.result.algorithm
+
+    def test_single_job_runs_in_process(self):
+        points = run_sweep_points(CONFIG, self.JOBS[:1])
+        assert points[0].x == 1.0
+        assert points[0].response_time > 0

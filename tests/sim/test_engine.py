@@ -3,6 +3,8 @@
 import pytest
 
 from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+from repro.sim.events import PRIORITY_URGENT
 
 
 def test_clock_starts_at_zero(sim):
@@ -42,6 +44,33 @@ def test_step_fires_one_event(sim):
     assert first.fired
     assert not second.fired
     assert sim.now == 1.0
+
+
+def test_step_with_nothing_scheduled_raises(sim):
+    with pytest.raises(SimulationError, match="nothing scheduled"):
+        sim.step()
+
+
+def test_step_empty_after_drain_raises(sim):
+    sim.timeout(1.0)
+    sim.step()
+    with pytest.raises(SimulationError, match="nothing scheduled"):
+        sim.step()
+
+
+def test_urgent_events_must_be_immediate(sim):
+    with pytest.raises(ValueError, match="URGENT"):
+        sim._schedule(sim.event(), delay=1.0, priority=PRIORITY_URGENT)
+
+
+def test_kernel_counters(sim):
+    for delay in range(3):
+        sim.timeout(float(delay))
+    sim.run()
+    counters = sim.kernel_counters()
+    assert counters["events_fired"] == 3
+    assert counters["heap_peak"] == 3
+    assert counters["queued_events"] == 0
 
 
 def test_determinism_bit_identical():
