@@ -1,0 +1,118 @@
+"""Configuration for the simulation-purity linter.
+
+Defaults live here; projects override them from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    sim-packages = ["repro/sim", "repro/core"]
+    allow = ["repro/experiments/__main__.py"]
+    disable = ["REPRO005"]
+
+``sim-packages`` are path fragments naming the packages whose code is
+*simulation-pure* — the kernel-scoped rules (identity ordering, set
+iteration, float keys, default-hash heap entries) only apply there.
+``allow`` names driver/CLI files where wall-clock time and host entropy
+are legitimate (the experiment harness timing its own runs); every rule
+skips allowlisted files.  ``disable`` turns rule codes off globally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import tomllib
+
+#: Packages whose code must stay simulation-pure (path fragments,
+#: matched with "/" separators against the linted file's path).
+DEFAULT_SIM_PACKAGES = (
+    "repro/sim",
+    "repro/core",
+    "repro/engine",
+    "repro/network",
+    "repro/storage",
+)
+
+#: Driver/CLI files where host-time reads are legitimate.
+DEFAULT_ALLOW = (
+    "repro/experiments/__main__.py",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter settings (defaults + pyproject overrides)."""
+
+    sim_packages: tuple[str, ...] = DEFAULT_SIM_PACKAGES
+    allow: tuple[str, ...] = DEFAULT_ALLOW
+    disable: tuple[str, ...] = ()
+
+    def is_allowed(self, path: pathlib.Path) -> bool:
+        """True when ``path`` is an allowlisted driver/CLI file."""
+        return _matches_any(path, self.allow)
+
+    def in_sim_package(self, path: pathlib.Path) -> bool:
+        """True when ``path`` lives in a simulation-pure package."""
+        return _matches_any(path, self.sim_packages)
+
+    def rule_enabled(self, code: str) -> bool:
+        return code not in self.disable
+
+
+def _matches_any(path: pathlib.Path, fragments: tuple[str, ...]) -> bool:
+    normalized = path.as_posix()
+    for fragment in fragments:
+        cleaned = fragment.strip("/")
+        if not cleaned:
+            continue
+        if normalized.endswith("/" + cleaned) or normalized == cleaned:
+            return True
+        if ("/" + cleaned + "/") in ("/" + normalized):
+            return True
+    return False
+
+
+def find_pyproject(start: pathlib.Path) -> pathlib.Path | None:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    current = start if start.is_dir() else start.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_lint_config(start: pathlib.Path | None = None) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from the nearest pyproject.toml.
+
+    Missing file or missing table both yield the defaults, so the
+    linter works on any tree.
+    """
+    if start is None:
+        start = pathlib.Path.cwd()
+    pyproject = find_pyproject(start)
+    if pyproject is None:
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        raise ValueError(
+            f"[tool.repro-lint] in {pyproject} must be a table")
+    return LintConfig(
+        sim_packages=_string_tuple(
+            table, "sim-packages", DEFAULT_SIM_PACKAGES, pyproject),
+        allow=_string_tuple(table, "allow", DEFAULT_ALLOW, pyproject),
+        disable=_string_tuple(table, "disable", (), pyproject),
+    )
+
+
+def _string_tuple(table: dict, key: str, default: tuple[str, ...],
+                  source: pathlib.Path) -> tuple[str, ...]:
+    value = table.get(key)
+    if value is None:
+        return default
+    if (not isinstance(value, list)
+            or any(not isinstance(item, str) for item in value)):
+        raise ValueError(
+            f"[tool.repro-lint] {key} in {source} must be a list of "
+            "strings")
+    return tuple(value)

@@ -1,0 +1,87 @@
+"""``python -m repro.analysis.lint`` — the simulation-purity linter CLI.
+
+.. code-block:: console
+
+    $ python -m repro.analysis.lint src/repro        # lint the tree
+    $ python -m repro.analysis.lint --list-rules     # rule catalog
+    $ python -m repro.analysis.lint --no-config file.py
+
+Exit status: 0 clean, 1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import typing
+
+from repro.analysis.config import LintConfig, load_lint_config
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST linter enforcing the simulator's determinism "
+                    "invariants (DESIGN.md §8).")
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files or directories to lint (default: src/repro if it "
+             "exists, else the current directory)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml and lint with built-in defaults")
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all enabled)")
+    return parser
+
+
+def _default_paths() -> list[pathlib.Path]:
+    src = pathlib.Path("src/repro")
+    return [src if src.is_dir() else pathlib.Path(".")]
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            scope = "sim packages only" if rule.sim_only else "all code"
+            print(f"{rule.code}  {rule.name:<24} [{scope}]")
+            print(f"         {rule.summary}")
+        return 0
+    paths: list[pathlib.Path] = args.paths or _default_paths()
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such file or directory: {path}")
+    if args.no_config:
+        config = LintConfig()
+    else:
+        config = load_lint_config(paths[0].resolve())
+    rules = list(RULES)
+    if args.select:
+        wanted = {code.strip().upper()
+                  for code in args.select.split(",") if code.strip()}
+        known = {rule.code for rule in RULES}
+        unknown = wanted - known
+        if unknown:
+            parser.error(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in RULES if rule.code in wanted]
+    findings = lint_paths(paths, config, rules)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

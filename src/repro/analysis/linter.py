@@ -1,0 +1,136 @@
+"""File walking, suppression handling, and finding collection.
+
+A *finding* is a violation that survived scoping (allowlist, sim-only
+rules) and line-level suppressions.  Suppression syntax, on the
+offending line::
+
+    ts = time.time()  # repro-lint: disable=REPRO001
+    order = id(obj)   # repro-lint: disable=REPRO001,REPRO003
+    anything()        # repro-lint: disable=all
+
+The comment must carry specific codes (or ``all``); a bare
+``# repro-lint: disable`` is reported as a malformed suppression so
+typos fail loudly instead of silently keeping a rule on.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+import tokenize
+import typing
+
+from repro.analysis.config import LintConfig
+from repro.analysis.rules import RULES, ModuleContext, Rule
+
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable(?:=(?P<codes>[\w,\s]*))?")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One reportable lint result."""
+
+    path: pathlib.Path
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path.as_posix()}:{self.line}:{self.column + 1}: "
+                f"{self.code} {self.message}")
+
+
+def _suppressions(source: str, path: pathlib.Path
+                  ) -> tuple[dict[int, frozenset[str]], list[Finding]]:
+    """line -> suppressed codes, plus findings for malformed comments.
+
+    Comments are read with :mod:`tokenize` so string literals that
+    merely *contain* the marker text do not suppress anything.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    malformed: list[Finding] = []
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        tokens = list(tokenize.generate_tokens(
+            lambda: next(lines, "")))
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches
+        return suppressed, malformed
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = frozenset(
+            code.strip().upper()
+            for code in (raw or "").split(",") if code.strip())
+        if not codes:
+            malformed.append(Finding(
+                path, token.start[0], token.start[1], "REPRO000",
+                "malformed suppression: use "
+                "'# repro-lint: disable=CODE[,CODE]' or '=all'"))
+            continue
+        line = token.start[0]
+        suppressed[line] = suppressed.get(line, frozenset()) | codes
+    return suppressed, malformed
+
+
+def lint_source(source: str, path: pathlib.Path, config: LintConfig,
+                rules: typing.Sequence[Rule] = RULES) -> list[Finding]:
+    """Lint one module's source text."""
+    if config.is_allowed(path):
+        return []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Finding(path, error.lineno or 1,
+                        (error.offset or 1) - 1, "REPRO000",
+                        f"syntax error: {error.msg}")]
+    suppressed, findings = _suppressions(source, path)
+    context = ModuleContext(path, tree, config)
+    for rule in rules:
+        if not config.rule_enabled(rule.code):
+            continue
+        if rule.sim_only and not context.sim_scoped:
+            continue
+        for violation in rule.check(context):
+            active = suppressed.get(violation.line, frozenset())
+            if violation.code in active or "ALL" in active:
+                continue
+            findings.append(Finding(
+                path, violation.line, violation.column,
+                violation.code, violation.message))
+    findings.sort(key=lambda f: (f.line, f.column, f.code))
+    return findings
+
+
+def lint_file(path: pathlib.Path, config: LintConfig,
+              rules: typing.Sequence[Rule] = RULES) -> list[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path, config, rules)
+
+
+def iter_python_files(paths: typing.Iterable[pathlib.Path]
+                      ) -> typing.Iterator[pathlib.Path]:
+    """Expand files/directories into sorted .py files."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: typing.Iterable[pathlib.Path],
+               config: LintConfig,
+               rules: typing.Sequence[Rule] = RULES) -> list[Finding]:
+    """Lint every Python file reachable from ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, config, rules))
+    return findings

@@ -1,0 +1,445 @@
+"""The simulation-purity rule catalog (REPRO001…).
+
+Each rule guards one determinism invariant of the simulator (DESIGN.md
+§8).  Rules are AST-based and deliberately syntactic: they flag the
+*pattern* (a ``time.time()`` call, iteration over a bare ``set``), not
+a proven misbehaviour — a line that is actually fine carries a
+``# repro-lint: disable=CODE`` suppression explaining itself by
+existing.
+
+Scoping
+-------
+``REPRO001``/``REPRO002`` (host time, host entropy) apply everywhere
+except allowlisted driver files; the container-ordering rules
+(``REPRO003``…\\ ``REPRO006``) apply only inside the simulation
+packages named by the config, where event ordering is observable.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import typing
+
+from repro.analysis.config import LintConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule hit inside a module (pre-suppression)."""
+
+    code: str
+    message: str
+    line: int
+    column: int
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    def __init__(self, path: pathlib.Path, tree: ast.Module,
+                 config: LintConfig) -> None:
+        self.path = path
+        self.tree = tree
+        self.config = config
+        #: True when the kernel-scoped rules apply to this file.
+        self.sim_scoped = config.in_sim_package(path)
+        #: local name -> canonical dotted module/attribute path, built
+        #: from the module's import statements (``np`` -> ``numpy``,
+        #: ``perf_counter`` -> ``time.perf_counter``).
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    canonical = (name.name if name.asname
+                                 else name.name.split(".")[0])
+                    self.aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib hazards
+                for name in node.names:
+                    local = name.asname or name.name
+                    self.aliases[local] = f"{node.module}.{name.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, if any."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    #: When True the rule only runs inside simulation packages.
+    sim_only: bool = False
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, node: ast.expr, message: str) -> Violation:
+        return Violation(self.code, message, node.lineno,
+                         node.col_offset)
+
+
+# ---------------------------------------------------------------------------
+# REPRO001 — host-time reads
+# ---------------------------------------------------------------------------
+
+HOST_TIME_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class HostTimeRule(Rule):
+    code = "REPRO001"
+    name = "host-time-read"
+    summary = ("wall-clock reads (time.time/perf_counter/datetime.now) "
+               "leak host state into the simulation")
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.resolve(node.func)
+            if resolved in HOST_TIME_CALLS:
+                yield self.violation(
+                    node,
+                    f"host-time read {resolved}(); simulation code must "
+                    "use the simulated clock (sim.now)")
+
+
+# ---------------------------------------------------------------------------
+# REPRO002 — unseeded / host-entropy randomness
+# ---------------------------------------------------------------------------
+
+HOST_ENTROPY_CALLS = frozenset({
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.choice", "random.SystemRandom",
+})
+
+
+class UnseededRandomRule(Rule):
+    code = "REPRO002"
+    name = "unseeded-random"
+    summary = ("module-level random/np.random calls and unseeded "
+               "generators draw from process-global or host entropy")
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in HOST_ENTROPY_CALLS:
+                yield self.violation(
+                    node,
+                    f"{resolved}() draws host entropy; derive values "
+                    "from the workload seed instead")
+            elif resolved in ("random.Random",
+                              "numpy.random.default_rng",
+                              "numpy.random.RandomState"):
+                if not _has_seed_argument(node):
+                    yield self.violation(
+                        node,
+                        f"{resolved}() without a seed falls back to "
+                        "host entropy; pass an explicit seed")
+            elif (resolved.startswith("random.")
+                  and resolved.count(".") == 1):
+                yield self.violation(
+                    node,
+                    f"{resolved}() uses the process-global generator; "
+                    "use a seeded random.Random instance")
+            elif resolved.startswith("numpy.random."):
+                yield self.violation(
+                    node,
+                    f"{resolved}() uses numpy's global generator; use "
+                    "a seeded numpy.random.Generator instance")
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """True when the constructor call pins its seed explicitly."""
+    for arg in call.args:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "x", None) and not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# REPRO003 — id()-based ordering or keys
+# ---------------------------------------------------------------------------
+
+class IdentityOrderRule(Rule):
+    code = "REPRO003"
+    name = "identity-order"
+    summary = ("id() values depend on the allocator; keys, sort "
+               "orders, and logs built from them differ across runs")
+    sim_only = True
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and "id" not in context.aliases):
+                yield self.violation(
+                    node,
+                    "id() is allocator-dependent; use a stable serial "
+                    "number (e.g. Event._serial) instead")
+            for keyword in node.keywords:
+                if (keyword.arg == "key"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id == "id"
+                        and "id" not in context.aliases):
+                    yield self.violation(
+                        keyword.value,
+                        "key=id sorts by allocator address; use a "
+                        "stable serial number instead")
+
+
+# ---------------------------------------------------------------------------
+# REPRO004 — iteration over unordered containers
+# ---------------------------------------------------------------------------
+
+class UnorderedIterationRule(Rule):
+    code = "REPRO004"
+    name = "unordered-iteration"
+    summary = ("iterating a bare set (or dict.keys() of one-removed "
+               "provenance) bakes hash order into event order")
+    sim_only = True
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iterable in iters:
+                reason = _unordered_reason(context, iterable)
+                if reason:
+                    yield self.violation(
+                        iterable,
+                        f"iteration over {reason}; wrap in sorted() "
+                        "with a deterministic key (or use an ordered "
+                        "container)")
+
+
+def _unordered_reason(context: ModuleContext,
+                      node: ast.expr) -> str | None:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        resolved = context.resolve(node.func)
+        if resolved in ("set", "frozenset"):
+            return f"a bare {resolved}()"
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "keys" and not node.args):
+            return "dict.keys() (iterate the dict itself, or sorted())"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# REPRO005 — floats as dict keys
+# ---------------------------------------------------------------------------
+
+class FloatKeyRule(Rule):
+    code = "REPRO005"
+    name = "float-dict-key"
+    summary = ("float keys alias under rounding drift and make table "
+               "lookups representation-dependent")
+    sim_only = True
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if (isinstance(key, ast.Constant)
+                            and type(key.value) is float):
+                        yield self.violation(
+                            key,
+                            f"float {key.value!r} used as a dict key; "
+                            "key on an int or a quantised string")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.slice, ast.Constant)
+                            and type(target.slice.value) is float):
+                        yield self.violation(
+                            target.slice,
+                            f"float {target.slice.value!r} used as a "
+                            "subscript-store key; key on an int or a "
+                            "quantised string")
+
+
+# ---------------------------------------------------------------------------
+# REPRO006 — default-__hash__ objects in ordered containers
+# ---------------------------------------------------------------------------
+
+HEAP_PUSH_CALLS = frozenset({"heapq.heappush", "heapq.heapify"})
+SORT_CALLS = frozenset({"sorted"})
+
+
+class DefaultHashOrderingRule(Rule):
+    code = "REPRO006"
+    name = "default-hash-ordering"
+    summary = ("objects with the default identity __hash__/__eq__ as "
+               "the leading heap or sort key tie-break by id()")
+    sim_only = True
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        unsafe = _default_hash_classes(context.tree)
+        if not unsafe:
+            return
+        bindings = _constructor_bindings(context.tree, unsafe)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.resolve(node.func)
+            candidates: list[ast.expr] = []
+            if resolved in HEAP_PUSH_CALLS and node.args:
+                candidates.append(node.args[-1])
+            elif resolved in SORT_CALLS and node.args:
+                if any(kw.arg == "key" for kw in node.keywords):
+                    continue  # an explicit key decides the order
+                candidates.append(node.args[0])
+            for candidate in candidates:
+                culprit = _leading_unsafe_element(
+                    candidate, unsafe, bindings)
+                if culprit is not None:
+                    yield self.violation(
+                        culprit[0],
+                        f"instance of {culprit[1]!r} (default "
+                        "identity __hash__, no __lt__) is the leading "
+                        "comparison key of an ordered container; "
+                        "prepend a unique serial number")
+
+
+def _default_hash_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Module classes relying on identity hash with no ordering."""
+    unsafe: dict[str, ast.ClassDef] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(not (isinstance(base, ast.Name)
+                    and base.id == "object")
+               for base in node.bases):
+            continue  # inherited behaviour unknowable statically
+        defined = {child.name for child in node.body
+                   if isinstance(child,
+                                 (ast.FunctionDef, ast.AsyncFunctionDef))}
+        if not defined & {"__hash__", "__eq__", "__lt__"}:
+            unsafe[node.name] = node
+    return unsafe
+
+
+def _constructor_bindings(tree: ast.Module,
+                          unsafe: dict[str, ast.ClassDef]
+                          ) -> dict[str, str]:
+    """name -> unsafe class, from simple ``x = Cls(...)`` assignments.
+
+    A deliberately shallow, scope-blind heuristic: a later rebinding
+    to anything else removes the name again.
+    """
+    bindings: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        name = node.targets[0].id
+        value = node.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in unsafe):
+            bindings[name] = value.func.id
+        else:
+            bindings.pop(name, None)
+    return bindings
+
+
+def _leading_unsafe_element(node: ast.expr,
+                            unsafe: dict[str, ast.ClassDef],
+                            bindings: dict[str, str]
+                            ) -> tuple[ast.expr, str] | None:
+    """(node, class name) when the *leading* comparison key is unsafe.
+
+    Elements after position 0 of a tuple are trusted: the established
+    kernel idiom places a unique sequence number ahead of the payload,
+    which guarantees comparison never reaches it.
+    """
+    def classify(element: ast.expr) -> str | None:
+        if (isinstance(element, ast.Call)
+                and isinstance(element.func, ast.Name)
+                and element.func.id in unsafe):
+            return element.func.id
+        if isinstance(element, ast.Name):
+            return bindings.get(element.id)
+        return None
+
+    if isinstance(node, ast.Tuple) and node.elts:
+        name = classify(node.elts[0])
+        if name:
+            return node.elts[0], name
+        return None
+    if isinstance(node, (ast.List, ast.Set)):
+        for element in node.elts:
+            found = _leading_unsafe_element(element, unsafe, bindings)
+            if found:
+                return found
+        return None
+    name = classify(node)
+    if name:
+        return node, name
+    return None
+
+
+#: The registry, in code order.  ``lint_file`` iterates this.
+RULES: tuple[Rule, ...] = (
+    HostTimeRule(),
+    UnseededRandomRule(),
+    IdentityOrderRule(),
+    UnorderedIterationRule(),
+    FloatKeyRule(),
+    DefaultHashOrderingRule(),
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}

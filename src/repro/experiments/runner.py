@@ -33,6 +33,11 @@ class SweepPoint:
     #: fast-path holds, heap peak) — collected when the config's
     #: ``profile`` flag is on.
     kernel_counters: dict | None = None
+    #: Event-tie audit site counts ({"benign": {sig: groups},
+    #: "suspect": {...}}) — collected whenever ``REPRO_AUDIT`` is on
+    #: (see repro.analysis.audit); picklable so ``--jobs`` workers can
+    #: ship it home.
+    audit_sites: dict | None = None
 
     def __iter__(self):
         return iter((self.x, self.response_time))
@@ -131,7 +136,10 @@ def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
                       response_time=result.response_time,
                       result=result if keep_result else None,
                       kernel_counters=(machine.sim.kernel_counters()
-                                       if config.profile else None))
+                                       if config.profile else None),
+                      audit_sites=(machine.sim.auditor.site_counts()
+                                   if machine.sim.auditor is not None
+                                   else None))
 
 
 # ---------------------------------------------------------------------------

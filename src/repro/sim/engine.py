@@ -87,10 +87,23 @@ class Simulator:
         #: Always drained before the heap; empty when fastpath is off.
         self._urgent: collections.deque[Event] = collections.deque()
         self._sequence = 0
+        #: Event-creation serial counter (stable debug identity;
+        #: see Event.__repr__).
+        self._event_serial = 0
         self._active_processes = 0
         self._crashed: list[Process] = []
         #: Grant-and-hold lane switch (see module docstring).
         self.fastpath: bool = os.environ.get("REPRO_FASTPATH", "1") != "0"
+        #: Event-tie auditor (``REPRO_AUDIT=1``, see DESIGN.md §8 and
+        #: repro.analysis.audit).  Observes same-(time, priority) heap
+        #: pops; never changes pop order.  Lazily imported so the
+        #: analysis package costs nothing when auditing is off.
+        audit = os.environ.get("REPRO_AUDIT", "")
+        if audit and audit != "0":
+            from repro.analysis.audit import TieAuditor
+            self.auditor: TieAuditor | None = TieAuditor.from_env()
+        else:
+            self.auditor = None
         # -- diagnostics counters (satellite: kernel observability) ----
         #: Events whose callbacks have run.
         self.events_fired = 0
@@ -158,12 +171,21 @@ class Simulator:
 
     def kernel_counters(self) -> dict:
         """Diagnostics snapshot for the experiment harness."""
-        return {
+        counters = {
             "events_fired": self.events_fired,
             "fastpath_holds": self.fastpath_holds,
             "heap_peak": self.heap_peak,
             "queued_events": len(self._heap) + len(self._urgent),
         }
+        if self.auditor is not None:
+            counters.update(self.auditor.counters())
+        return counters
+
+    def audit_report(self) -> str:
+        """The event-tie auditor's text summary (``REPRO_AUDIT=1``)."""
+        if self.auditor is None:
+            return "event-tie audit disabled (set REPRO_AUDIT=1)"
+        return self.auditor.summary()
 
     # -- running -------------------------------------------------------------
 
@@ -179,11 +201,14 @@ class Simulator:
         while True:
             if urgent:
                 event = urgent.popleft()
+                from_heap = False
+                priority = PRIORITY_URGENT
             elif heap:
-                when, _priority, _seq, event = heapq.heappop(heap)
+                when, priority, _seq, event = heapq.heappop(heap)
                 if when < self.now:  # pragma: no cover - _schedule guards
                     raise SimulationError("time moved backwards")
                 self.now = when
+                from_heap = True
             else:
                 raise SimulationError("nothing scheduled")
             hold = event._hold
@@ -194,6 +219,18 @@ class Simulator:
                                       self._sequence, event))
                 self.fastpath_holds += 1
                 continue
+            # Urgent-lane pops are excluded by design: that lane is
+            # semantically FIFO, so its insertion order *is* its
+            # specified order, not an arbitrary tie-break.  The tie
+            # flag is *coexistence*: the next heap entry shares this
+            # key right now, before this event fires — an entry this
+            # fire schedules at the same instant is causally ordered,
+            # not tied.
+            if from_heap and self.auditor is not None:
+                self.auditor.record(
+                    self.now, priority, event,
+                    bool(heap) and heap[0][0] == self.now
+                    and heap[0][1] == priority)
             event._fire()
             self.events_fired += 1
             if self._crashed:
@@ -210,6 +247,12 @@ class Simulator:
             If any process terminates with an unhandled exception the
             error propagates out of ``run`` immediately (fail fast).
         """
+        if self.auditor is not None:
+            # The audited path pays for observability with the plain
+            # step() loop; simulated times are identical either way
+            # (the auditor only watches pops, it never reorders them).
+            self._run_audited(until)
+            return
         # Inlined pop/fire cycle — semantically identical to calling
         # step() in a loop, with the hot locals hoisted and the
         # bounded-run (``until``) check compiled out of the common
@@ -299,6 +342,76 @@ class Simulator:
                 gc.enable()
             self.events_fired += events_fired
             self.fastpath_holds += holds
+
+    def _run_audited(self, until: float | None = None) -> None:
+        """step()-based run loop used when the tie auditor is on.
+
+        Mirrors :meth:`run`'s bounded-run semantics: only a heap pop
+        can advance the clock, so the bound is checked against the
+        heap head before each step.
+
+        In ``REPRO_AUDIT=reverse`` mode each batch of heap entries
+        sharing one ``(time, priority)`` key is fired in *reversed*
+        sequence order, with the urgent lane drained between fires
+        exactly as the in-order kernel would.  Any simulated result
+        that depends on the insertion-order tie-break then moves — a
+        sensitivity probe for how much timing rests on the pinned
+        tie order (see repro.analysis.audit).  Note that with
+        ``REPRO_FASTPATH=0`` URGENT events live in the heap, so
+        reversal also flips resource-grant FIFO order — expected, and
+        a larger perturbation than fastpath-on reversal.
+        """
+        heap = self._heap
+        urgent = self._urgent
+        auditor = self.auditor
+        reverse = auditor is not None and auditor.reverse_ties
+        while urgent or heap:
+            if until is not None and not urgent and heap[0][0] > until:
+                self.now = until
+                return
+            if urgent or not reverse:
+                self.step()
+                continue
+            # Reverse mode: collect the whole same-key batch first.
+            when, priority, _seq, event = heapq.heappop(heap)
+            self.now = when
+            batch: list[Event] = []
+            while True:
+                hold = event._hold
+                if hold is not None:
+                    event._hold = None
+                    self._sequence += 1
+                    heapq.heappush(
+                        heap, (when + hold, PRIORITY_NORMAL,
+                               self._sequence, event))
+                    self.fastpath_holds += 1
+                else:
+                    batch.append(event)
+                if (heap and heap[0][0] == when
+                        and heap[0][1] == priority):
+                    _when, _priority, _seq, event = heapq.heappop(heap)
+                else:
+                    break
+            last = len(batch) - 1
+            for index, event in enumerate(reversed(batch)):
+                assert auditor is not None
+                # Batch members coexisted in the heap by construction,
+                # so they chain into one tie group; the batch boundary
+                # closes it (same-key events pushed by these fires are
+                # causal followers, not ties).
+                auditor.record(when, priority, event, index < last)
+                event._fire()
+                self.events_fired += 1
+                if self._crashed:
+                    raise self._crashed[0].crash_error
+                # Events pushed by this fire at the same key form
+                # their own later batch; the urgent lane, whose order
+                # is semantic FIFO, drains between tied fires as the
+                # in-order kernel would drain it.
+                while urgent:
+                    self.step()
+        if auditor is not None:
+            auditor.flush()  # close the trailing group at drain
 
     @property
     def queued_events(self) -> int:

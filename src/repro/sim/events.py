@@ -39,10 +39,14 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
-                 "_fired", "_hold")
+                 "_fired", "_hold", "_serial")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
+        # Stable per-engine creation serial: event counts are
+        # deterministic, so serials reproduce across runs — unlike
+        # id(), which is allocator-dependent (REPRO003).
+        sim._event_serial = self._serial = sim._event_serial + 1
         self.callbacks: list[typing.Callable[[Event], None]] = []
         self._value: typing.Any = None
         self._ok = True
@@ -116,7 +120,7 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self._fired else (
             "triggered" if self._triggered else "pending")
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+        return f"<{type(self).__name__} #{self._serial} {state}>"
 
 
 class Timeout(Event):

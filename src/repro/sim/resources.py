@@ -122,6 +122,7 @@ class Resource:
         # saved on the kernel's single hottest allocation site).
         event = Event.__new__(Event)
         event.sim = sim
+        sim._event_serial = event._serial = sim._event_serial + 1
         event.callbacks = [self._release_after_hold]
         event._value = None
         event._ok = True

@@ -1,0 +1,1 @@
+# Lint fixtures: parsed by the linter tests, never imported.

@@ -1,0 +1,16 @@
+"""REPRO006 bad cases: identity-hashed objects leading an ordering."""
+
+import heapq
+
+
+class Job:
+    def __init__(self, cost):
+        self.cost = cost
+
+
+def enqueue(heap):
+    heapq.heappush(heap, Job(3))            # line 12: REPRO006
+    heapq.heappush(heap, (Job(1), "x"))     # line 13: REPRO006
+    pending = Job(2)
+    heapq.heappush(heap, pending)           # line 15: REPRO006
+    return sorted([Job(5), Job(4)])         # line 16: REPRO006

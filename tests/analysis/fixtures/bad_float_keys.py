@@ -1,0 +1,8 @@
+"""REPRO005 bad cases: float-keyed tables."""
+
+
+def build(table):
+    ratios = {0.5: "half", 1.0: "full"}     # line 5: REPRO005 x2
+    table[0.75] = "three quarters"          # line 6: REPRO005
+    table[2.5] += 1                         # line 7: REPRO005
+    return ratios

@@ -1,0 +1,15 @@
+"""REPRO001 bad cases: every call below reads the host clock."""
+
+import time
+from datetime import date, datetime
+from time import perf_counter as pc
+
+
+def stamp():
+    a = time.time()            # line 9: REPRO001
+    b = time.monotonic_ns()    # line 10: REPRO001
+    c = pc()                   # line 11: REPRO001 (aliased import)
+    d = datetime.now()         # line 12: REPRO001
+    e = datetime.utcnow()      # line 13: REPRO001
+    f = date.today()           # line 14: REPRO001
+    return a, b, c, d, e, f

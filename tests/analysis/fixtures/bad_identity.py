@@ -1,0 +1,9 @@
+"""REPRO003 bad cases: id() feeding keys, orderings, and logs."""
+
+
+def track(events, table):
+    key = id(events[0])                         # line 5: REPRO003
+    table[id(events[1])] = "seen"               # line 6: REPRO003
+    ranked = sorted(events, key=id)             # line 7: REPRO003
+    label = f"<event at {id(events[2]):#x}>"    # line 8: REPRO003
+    return key, ranked, label

@@ -1,0 +1,17 @@
+"""REPRO002 bad cases: process-global generators and host entropy."""
+
+import random
+import uuid
+import numpy as np
+
+
+def draw(k):
+    a = random.random()               # line 9: REPRO002 (global state)
+    b = random.shuffle(k)             # line 10: REPRO002 (global state)
+    c = random.Random()               # line 11: REPRO002 (unseeded)
+    d = np.random.default_rng()       # line 12: REPRO002 (unseeded)
+    e = np.random.default_rng(None)   # line 13: REPRO002 (None seed)
+    f = np.random.randint(10)         # line 14: REPRO002 (np global)
+    g = uuid.uuid4()                  # line 15: REPRO002 (host entropy)
+    h = random.SystemRandom()         # line 16: REPRO002 (host entropy)
+    return a, b, c, d, e, f, g, h

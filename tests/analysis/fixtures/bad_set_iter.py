@@ -1,0 +1,14 @@
+"""REPRO004 bad cases: iteration order borrowed from hash tables."""
+
+
+def walk(nodes, extra, mapping):
+    for node in {1, 2, 3}:                  # line 5: REPRO004
+        print(node)
+    for node in set(nodes):                 # line 7: REPRO004
+        print(node)
+    for node in frozenset(extra):           # line 9: REPRO004
+        print(node)
+    doubled = [n * 2 for n in {x for x in nodes}]   # line 11: REPRO004
+    for key in mapping.keys():              # line 13: REPRO004
+        print(key)
+    return doubled

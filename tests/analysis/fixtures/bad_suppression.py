@@ -1,0 +1,7 @@
+"""A bare disable comment is malformed and reported as REPRO000."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro-lint: disable

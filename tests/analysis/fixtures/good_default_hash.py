@@ -1,0 +1,24 @@
+"""REPRO006 good cases: orderable classes or serial-led tuples."""
+
+import heapq
+
+
+class Ranked:
+    def __init__(self, cost):
+        self.cost = cost
+
+    def __lt__(self, other):
+        return self.cost < other.cost
+
+
+class Payload:
+    def __init__(self, data):
+        self.data = data
+
+
+def enqueue(heap, serial):
+    heapq.heappush(heap, Ranked(3))
+    # The kernel idiom: a unique serial ahead of the payload means
+    # comparison never reaches the identity-hashed object.
+    heapq.heappush(heap, (serial, Payload("x")))
+    return sorted([Payload("a"), Payload("b")], key=lambda p: p.data)

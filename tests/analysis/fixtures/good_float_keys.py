@@ -1,0 +1,8 @@
+"""REPRO005 good cases: int keys, string keys, float values."""
+
+
+def build(table, ratio):
+    ratios = {50: 0.5, "full": 1.0}
+    table[75] = 0.75
+    lookup = table[ratio]        # a read is not a key definition
+    return ratios, lookup

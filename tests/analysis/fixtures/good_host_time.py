@@ -1,0 +1,12 @@
+"""REPRO001 good cases: simulated time and non-clock time functions."""
+
+import time
+from datetime import datetime, timedelta
+
+
+def elapsed(sim, event):
+    start = sim.now
+    time.sleep(0.0)          # sleeping is wasteful, not impure
+    delta = timedelta(seconds=1)
+    parsed = datetime.fromisoformat("1989-06-01T00:00:00")
+    return sim.now - start, delta, parsed

@@ -1,0 +1,13 @@
+"""REPRO002 good cases: everything derives from an explicit seed."""
+
+import random
+import numpy as np
+
+
+def draw(seed):
+    a = random.Random(seed)
+    b = random.Random(42)
+    c = np.random.default_rng(seed)
+    d = np.random.default_rng(seed=1989)
+    e = np.random.RandomState(seed)
+    return a, b, c, d, e

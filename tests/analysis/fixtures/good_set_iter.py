@@ -1,0 +1,15 @@
+"""REPRO004 good cases: ordered or explicitly sorted iteration."""
+
+
+def walk(nodes, mapping):
+    for node in sorted(set(nodes)):
+        print(node)
+    for key in sorted(mapping.keys()):
+        print(key)
+    for key in mapping:          # dict order is insertion order
+        print(key)
+    for node in list(nodes):
+        print(node)
+    if 3 in set(nodes):          # membership, not iteration
+        print("three")
+    return mapping.keys()        # not an iteration site by itself

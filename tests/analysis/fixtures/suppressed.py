@@ -1,0 +1,17 @@
+"""Every violation below carries a suppression — zero findings."""
+
+import time
+import random
+
+
+def stamp(d, items):
+    a = time.time()  # repro-lint: disable=REPRO001
+    b = random.random()  # repro-lint: disable=REPRO002
+    c = id(d)  # repro-lint: disable=REPRO003
+    for x in set(items):  # repro-lint: disable=REPRO004
+        print(x)
+    d[1.5] = time.time()  # repro-lint: disable=all
+    table = {  # noqa
+        2.5: "x",  # repro-lint: disable=REPRO005
+    }
+    return a, b, c, table

@@ -1,0 +1,285 @@
+"""The runtime event-tie auditor and the stable event serials."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.audit import TieAuditor, event_label, normalise
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+
+def make_sim(auditor: TieAuditor | None = None) -> Simulator:
+    sim = Simulator()
+    if auditor is not None:
+        sim.auditor = auditor
+    return sim
+
+
+def sleeper(sim, log, name, delay):
+    yield sim.timeout(delay)
+    log.append(name)
+
+
+# -- wiring ------------------------------------------------------------------
+
+def test_audit_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_AUDIT", raising=False)
+    assert Simulator().auditor is None
+    monkeypatch.setenv("REPRO_AUDIT", "0")
+    assert Simulator().auditor is None
+
+
+def test_audit_enabled_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_AUDIT", "1")
+    sim = Simulator()
+    assert sim.auditor is not None
+    assert not sim.auditor.reverse_ties
+    monkeypatch.setenv("REPRO_AUDIT", "reverse")
+    assert Simulator().auditor.reverse_ties
+
+
+def test_allowlist_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_AUDIT", "1")
+    monkeypatch.setenv("REPRO_AUDIT_ALLOW", "foo + bar; baz*")
+    sim = Simulator()
+    assert sim.auditor.benign_signatures == ("foo + bar", "baz*")
+
+
+# -- tie detection and classification ---------------------------------------
+
+def test_symmetric_tie_is_recorded_benign():
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    for node in range(3):
+        sim.process(sleeper(sim, log, node, 1.0), name=f"node-{node}")
+    sim.run()
+    assert log == [0, 1, 2]          # insertion order preserved
+    sites = {s.signature: s for s in sim.auditor.sites.values()}
+    start = sites["process:node-#"]  # the three t=0 start events
+    assert start.benign and start.events == 3
+    # The 1.0 batch: three tied timeouts whose fires chain three
+    # completions at the same key — completions coexist with the later
+    # timeouts, so they extend the same group.
+    assert sites["done:node-# + process:node-#"].benign
+    assert all(site.benign for site in sites.values())
+
+
+def test_named_cross_kind_tie_is_benign_by_default_labels():
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "a", 1.0), name="scanner")
+    sim.process(sleeper(sim, log, "b", 1.0), name="joiner")
+    sim.run()
+    assert "process:joiner + process:scanner" in sim.auditor.sites
+    assert all(site.benign
+               for site in sim.auditor.sites.values())
+
+
+def test_anonymous_tie_is_suspect():
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "named", 1.0), name="worker")
+    anon = sim.event()
+    anon.callbacks.append(lambda event: log.append("anon"))
+    anon.succeed(delay=1.0)
+    sim.run()
+    (site,) = sim.auditor.sites.values()
+    assert site.signature == "event + process:worker"
+    assert not site.benign
+    counters = sim.kernel_counters()
+    assert counters["audit_suspect_groups"] == 1
+    assert counters["audit_tie_events"] == 2
+
+
+def test_signature_allowlist_rescues_suspect_site():
+    auditor = TieAuditor(benign_signatures=("event + process:*",))
+    sim = make_sim(auditor)
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "named", 1.0), name="worker")
+    anon = sim.event()
+    anon.callbacks.append(lambda event: log.append("anon"))
+    anon.succeed(delay=1.0)
+    sim.run()
+    (site,) = auditor.sites.values()
+    assert site.benign
+    assert sim.kernel_counters()["audit_suspect_groups"] == 0
+
+
+def test_distinct_times_are_not_ties():
+    sim = make_sim(TieAuditor())
+    for delay in (1.0, 2.0, 3.0):
+        sim.event().succeed(delay=delay)
+    sim.run()
+    assert sim.auditor.counters()["audit_tie_groups"] == 0
+
+
+def test_causal_same_time_chain_is_not_a_tie():
+    # The timeout fire at t=1.0 *schedules* the completion event at
+    # t=1.0, but the two never coexist in the heap — causal order, not
+    # a tie-break, so the auditor must stay silent.
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "solo", 1.0), name="solo")
+    sim.run()
+    assert log == ["solo"]
+    assert sim.auditor.counters()["audit_tie_groups"] == 0
+
+
+def test_summary_and_report_render():
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "a", 1.0), name="node-1")
+    sim.process(sleeper(sim, log, "b", 1.0), name="node-2")
+    sim.run()
+    text = sim.audit_report()
+    assert "2 tie group(s) across 2 site(s), 0 suspect" in text
+    assert "BENIGN" in text and "process:node-#" in text
+    assert "disabled" in Simulator().audit_report()
+
+
+def test_site_counts_are_picklable_aggregates():
+    import pickle
+    sim = make_sim(TieAuditor())
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "a", 1.0), name="node-1")
+    sim.process(sleeper(sim, log, "b", 1.0), name="node-2")
+    sim.run()
+    counts = sim.auditor.site_counts()
+    assert counts["benign"] == {"process:node-#": 1,
+                                "done:node-# + process:node-#": 1}
+    assert counts["suspect"] == {}
+    assert pickle.loads(pickle.dumps(counts)) == counts
+
+
+def test_resource_hold_expiry_gets_resource_label():
+    sim = make_sim(TieAuditor())
+    cpu = Resource(sim, capacity=1, name="cpu-0")
+
+    def user():
+        yield from cpu.use(1.0)
+
+    sim.process(user(), name="u1")
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "x", 1.0), name="peer")
+    sim.run()
+    sites = sim.auditor.sites
+    assert any("resource:cpu-#" in signature for signature in sites)
+    assert all(site.benign for site in sites.values())
+
+
+# -- observation must not perturb the simulation -----------------------------
+
+def test_recording_preserves_fire_order_and_times():
+    def trace(audited: bool):
+        sim = make_sim(TieAuditor() if audited else None)
+        log: list[tuple[float, str]] = []
+
+        def body(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+        for name, delay in (("a", 1.0), ("b", 1.0), ("c", 0.5),
+                            ("d", 1.5)):
+            sim.process(body(name, delay), name=name)
+        sim.run()
+        return log
+
+    assert trace(audited=True) == trace(audited=False)
+
+
+def test_bounded_run_semantics_match(monkeypatch):
+    def final_now(audited: bool) -> float:
+        sim = make_sim(TieAuditor() if audited else None)
+        log: list[str] = []
+        sim.process(sleeper(sim, log, "a", 1.0), name="a")
+        sim.process(sleeper(sim, log, "b", 5.0), name="b")
+        sim.run(until=2.0)
+        assert log == ["a"]
+        return sim.now
+
+    assert final_now(True) == final_now(False) == 2.0
+
+
+# -- tie-reversal stress mode ------------------------------------------------
+
+def test_reverse_mode_flips_tied_fire_order():
+    # Plain events so there is exactly one tied batch: with processes
+    # the t=0 start batch reverses too, and the two reversals cancel.
+    def run(reverse: bool) -> list[str]:
+        sim = make_sim(TieAuditor(reverse_ties=reverse))
+        log: list[str] = []
+        for name in ("first", "second", "third"):
+            event = sim.event()
+            event.callbacks.append(lambda _e, n=name: log.append(n))
+            event.succeed(delay=1.0)
+        sim.run()
+        assert sim.now == 1.0
+        return log
+
+    assert run(reverse=False) == ["first", "second", "third"]
+    assert run(reverse=True) == ["third", "second", "first"]
+
+
+def test_reverse_mode_keeps_untied_order_and_times():
+    def run(reverse: bool):
+        sim = make_sim(TieAuditor(reverse_ties=reverse))
+        log: list[tuple[float, str]] = []
+
+        def body(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+        sim.process(body("a", 0.5), name="a")
+        sim.process(body("b", 1.0), name="b")
+        sim.process(body("c", 2.0), name="c")
+        sim.run()
+        return log
+
+    assert run(reverse=False) == run(reverse=True) == [
+        (0.5, "a"), (1.0, "b"), (2.0, "c")]
+
+
+def test_reverse_mode_still_audits_ties():
+    sim = make_sim(TieAuditor(reverse_ties=True))
+    log: list[str] = []
+    sim.process(sleeper(sim, log, "a", 1.0), name="node-1")
+    sim.process(sleeper(sim, log, "b", 1.0), name="node-2")
+    sim.run()
+    # Three batches: the two starts, the two timeouts, then the two
+    # chained completions (their own batch — causal, collected after).
+    counters = sim.auditor.counters()
+    assert counters["audit_tie_groups"] == 3
+    assert counters["audit_suspect_groups"] == 0
+
+
+# -- label helpers -----------------------------------------------------------
+
+def test_normalise_collapses_digit_runs():
+    assert normalise("process:node-17.cpu3") == "process:node-#.cpu#"
+    assert normalise("token-ring") == "token-ring"
+
+
+def test_event_label_falls_back_to_type():
+    sim = Simulator()
+    assert event_label(sim.event()) == "event"
+    assert event_label(sim.timeout(1.0)) == "timeout"
+
+
+# -- stable event serials ----------------------------------------------------
+
+def test_event_serials_are_per_engine_and_monotonic():
+    sim = Simulator()
+    first, second = sim.event(), sim.event()
+    assert (first._serial, second._serial) == (1, 2)
+    assert "#1" in repr(first) and "pending" in repr(first)
+    assert Simulator().event()._serial == 1   # fresh engine restarts
+
+
+def test_fastpath_use_events_carry_serials():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1, name="cpu")
+    (event,) = cpu.use(1.0)
+    assert isinstance(event._serial, int) and event._serial >= 1
+    assert f"#{event._serial}" in repr(event)
+    sim.run()

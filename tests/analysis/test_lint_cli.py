@@ -1,0 +1,132 @@
+"""CLI behaviour of ``python -m repro.analysis.lint``."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import lint as lint_cli
+from repro.analysis.config import (
+    LintConfig,
+    find_pyproject,
+    load_lint_config,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).parents[2]
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    import io
+    import contextlib
+    stream = io.StringIO()
+    with contextlib.redirect_stdout(stream):
+        status = lint_cli.main(list(argv))
+    return status, stream.getvalue()
+
+
+def test_clean_tree_exits_zero():
+    status, output = run_cli(str(REPO / "src" / "repro"))
+    assert status == 0
+    assert output == ""
+
+
+def test_findings_exit_one_with_gcc_style_lines(capsys):
+    status, output = run_cli(
+        "--no-config", str(FIXTURES / "bad_host_time.py"))
+    assert status == 1
+    first = output.splitlines()[0]
+    path, line, column, rest = first.split(":", 3)
+    assert path.endswith("bad_host_time.py")
+    assert int(line) == 9 and int(column) >= 1
+    assert rest.strip().startswith("REPRO001")
+
+
+def test_select_runs_only_named_rules():
+    # --no-config keeps the defaults, under which the fixtures are not
+    # sim-scoped, so select REPRO001 vs REPRO002 on a mixed file.
+    status, output = run_cli(
+        "--no-config", "--select", "repro002",
+        str(FIXTURES / "bad_random.py"))
+    assert status == 1
+    assert all("REPRO002" in line for line in output.splitlines())
+    status, output = run_cli(
+        "--no-config", "--select", "REPRO001",
+        str(FIXTURES / "bad_random.py"))
+    assert status == 0
+
+
+def test_unknown_select_code_is_a_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--select", "REPRO999", str(FIXTURES))
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_a_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(str(FIXTURES / "does_not_exist.py"))
+    assert excinfo.value.code == 2
+
+
+def test_list_rules_prints_the_catalog():
+    status, output = run_cli("--list-rules")
+    assert status == 0
+    for code in ("REPRO001", "REPRO002", "REPRO003", "REPRO004",
+                 "REPRO005", "REPRO006"):
+        assert code in output
+
+
+def test_directory_walk_covers_every_bad_fixture():
+    config = LintConfig(sim_packages=("fixtures",),
+                        allow=("fixtures/allowlisted.py",))
+    from repro.analysis import lint_paths
+    findings = lint_paths([FIXTURES], config)
+    found_codes = {f.code for f in findings}
+    assert found_codes >= {"REPRO001", "REPRO002", "REPRO003",
+                           "REPRO004", "REPRO005", "REPRO006"}
+
+
+# -- pyproject config loading ------------------------------------------------
+
+def test_find_pyproject_walks_up(tmp_path):
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-lint]\n")
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+    assert find_pyproject(pathlib.Path("/nonexistent-root-dir")) is None
+
+
+def test_load_config_overrides(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\n'
+        'sim-packages = ["custom/sim"]\n'
+        'allow = ["custom/cli.py"]\n'
+        'disable = ["REPRO005"]\n')
+    config = load_lint_config(tmp_path)
+    assert config.sim_packages == ("custom/sim",)
+    assert config.allow == ("custom/cli.py",)
+    assert not config.rule_enabled("REPRO005")
+    assert config.rule_enabled("REPRO001")
+
+
+def test_load_config_defaults_without_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    config = load_lint_config(tmp_path)
+    assert "repro/sim" in config.sim_packages
+    assert config.is_allowed(
+        pathlib.Path("src/repro/experiments/__main__.py"))
+
+
+def test_load_config_rejects_bad_types(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\nsim-packages = "oops"\n')
+    with pytest.raises(ValueError):
+        load_lint_config(tmp_path)
+
+
+def test_repo_pyproject_declares_the_lint_table():
+    config = load_lint_config(REPO / "src")
+    assert config.is_allowed(
+        pathlib.Path("src/repro/experiments/__main__.py"))
+    assert config.in_sim_package(pathlib.Path("src/repro/sim/engine.py"))

@@ -1,0 +1,99 @@
+"""Every rule's good/bad fixtures, suppressions, and allowlisting.
+
+The fixtures live under ``tests/analysis/fixtures/`` and are *parsed*,
+never imported.  The test config declares the fixtures directory a
+simulation package so the sim-scoped rules (REPRO003…006) apply there.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintConfig, lint_file
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: Fixture paths are sim-scoped; ``allowlisted.py`` is driver code.
+CONFIG = LintConfig(sim_packages=("fixtures",),
+                    allow=("fixtures/allowlisted.py",))
+
+
+def codes(path: pathlib.Path, config: LintConfig = CONFIG) -> list[str]:
+    return [finding.code for finding in lint_file(path, config)]
+
+
+BAD_CASES = [
+    ("bad_host_time.py", ["REPRO001"] * 6),
+    ("bad_random.py", ["REPRO002"] * 8),
+    ("bad_identity.py", ["REPRO003"] * 4),
+    ("bad_set_iter.py", ["REPRO004"] * 5),
+    ("bad_float_keys.py", ["REPRO005"] * 4),
+    ("bad_default_hash.py", ["REPRO006"] * 4),
+]
+
+GOOD_FIXTURES = [
+    "good_host_time.py",
+    "good_random.py",
+    "good_set_iter.py",
+    "good_float_keys.py",
+    "good_default_hash.py",
+    "suppressed.py",
+    "allowlisted.py",
+]
+
+
+@pytest.mark.parametrize("name,expected", BAD_CASES)
+def test_bad_fixture_reports_every_violation(name, expected):
+    assert codes(FIXTURES / name) == expected
+
+
+@pytest.mark.parametrize("name", GOOD_FIXTURES)
+def test_good_fixture_is_clean(name):
+    assert codes(FIXTURES / name) == []
+
+
+def test_findings_carry_position_and_render():
+    findings = lint_file(FIXTURES / "bad_host_time.py", CONFIG)
+    first = findings[0]
+    assert first.line == 9
+    rendered = first.render()
+    assert "tests/analysis/fixtures/bad_host_time.py:9:" in rendered
+    assert "REPRO001" in rendered and "time.time" in rendered
+
+
+def test_malformed_suppression_is_reported_not_honoured():
+    found = codes(FIXTURES / "bad_suppression.py")
+    assert "REPRO000" in found      # the malformed comment itself
+    assert "REPRO001" in found      # ...which suppressed nothing
+
+
+def test_sim_scoped_rules_skip_non_sim_files():
+    config = LintConfig(sim_packages=("somewhere/else",), allow=())
+    found = codes(FIXTURES / "bad_identity.py", config)
+    assert found == []              # REPRO003 is sim-only
+    found = codes(FIXTURES / "bad_host_time.py", config)
+    assert found == ["REPRO001"] * 6   # purity rules run everywhere
+
+
+def test_allowlist_silences_driver_files():
+    config = LintConfig(sim_packages=("fixtures",), allow=())
+    assert codes(FIXTURES / "allowlisted.py", config) == [
+        "REPRO001", "REPRO001"]
+    assert codes(FIXTURES / "allowlisted.py", CONFIG) == []
+
+
+def test_disable_turns_a_rule_off_globally():
+    config = LintConfig(sim_packages=("fixtures",), allow=(),
+                        disable=("REPRO004",))
+    assert codes(FIXTURES / "bad_set_iter.py", config) == []
+
+
+def test_repo_tree_is_lint_clean():
+    """The merged acceptance bar: src/repro has zero findings."""
+    from repro.analysis import lint_paths, load_lint_config
+    src = pathlib.Path(__file__).parents[2] / "src" / "repro"
+    config = load_lint_config(src)
+    findings = lint_paths([src], config)
+    assert findings == [], "\n".join(f.render() for f in findings)
