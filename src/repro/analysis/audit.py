@@ -160,21 +160,22 @@ class TieAuditor:
 
     def _flush_group(self) -> None:
         if len(self._group_labels) > 1:
-            self._record_tie(tuple(self._group_labels))
+            self._add_group(tuple(self._group_labels), self.sites)
         self._group_labels.clear()
         self._group_key = None
         self._pending_tie = False
 
-    def _record_tie(self, labels: tuple[str, ...]) -> None:
+    def _add_group(self, labels: tuple[str, ...],
+                   sites: dict[str, TieSite]) -> None:
         normalised = sorted({normalise(label) for label in labels})
         signature = SEPARATOR.join(normalised)
-        site = self.sites.get(signature)
+        site = sites.get(signature)
         if site is None:
             site = TieSite(signature=signature,
                            benign=self._is_benign(normalised, signature),
                            first_time=(self._group_key or (0.0, 0))[0],
                            example=labels[:4])
-            self.sites[signature] = site
+            sites[signature] = site
         site.groups += 1
         site.events += len(labels)
 
@@ -195,42 +196,65 @@ class TieAuditor:
         """Close the trailing group (call when the run loop drains)."""
         self._flush_group()
 
+    def _snapshot(self) -> dict[str, TieSite]:
+        """Sites including the in-flight group, without mutating state.
+
+        The reporting APIs below are diagnostics snapshots and may be
+        called mid-run; closing the pending group there would split (or
+        silently drop) a tie group spanning the call.  A pending group
+        of two or more labels is already a tie, so it is counted via a
+        copied site table; groups of one stay open and uncounted,
+        exactly as :meth:`flush` would leave them.
+        """
+        if len(self._group_labels) < 2:
+            return self.sites
+        sites = {signature: dataclasses.replace(site)
+                 for signature, site in self.sites.items()}
+        self._add_group(tuple(self._group_labels), sites)
+        return sites
+
     def counters(self) -> dict[str, int]:
-        """Numeric aggregates, merged into the kernel counters."""
-        self.flush()
-        suspect = [s for s in self.sites.values() if not s.benign]
+        """Numeric aggregates, merged into the kernel counters.
+
+        Safe to call mid-run: auditor state is not mutated.
+        """
+        sites = self._snapshot().values()
+        suspect = [s for s in sites if not s.benign]
         return {
-            "audit_tie_groups": sum(s.groups
-                                    for s in self.sites.values()),
-            "audit_tie_events": sum(s.events
-                                    for s in self.sites.values()),
+            "audit_tie_groups": sum(s.groups for s in sites),
+            "audit_tie_events": sum(s.events for s in sites),
             "audit_suspect_groups": sum(s.groups for s in suspect),
             "audit_suspect_sites": len(suspect),
         }
 
     def site_counts(self) -> dict[str, dict[str, int]]:
-        """Picklable per-site group counts, keyed by classification."""
-        self.flush()
+        """Picklable per-site group counts, keyed by classification.
+
+        Safe to call mid-run: auditor state is not mutated.
+        """
         benign: dict[str, int] = {}
         suspect: dict[str, int] = {}
-        for site in self.sites.values():
+        for site in self._snapshot().values():
             (benign if site.benign else suspect)[site.signature] = (
                 site.groups)
         return {"benign": benign, "suspect": suspect}
 
     def summary(self, limit: int = 10) -> str:
-        """A ``--profile``-style text report of the tie landscape."""
-        self.flush()
-        if not self.sites:
+        """A ``--profile``-style text report of the tie landscape.
+
+        Safe to call mid-run: auditor state is not mutated.
+        """
+        sites = self._snapshot()
+        if not sites:
             return "event-tie audit: no same-(time, priority) ties"
-        ordered = sorted(self.sites.values(),
+        ordered = sorted(sites.values(),
                          key=lambda s: (s.benign, -s.groups,
                                         s.signature))
         lines = [
             "event-tie audit: "
-            f"{sum(s.groups for s in self.sites.values())} tie "
-            f"group(s) across {len(self.sites)} site(s), "
-            f"{sum(1 for s in self.sites.values() if not s.benign)} "
+            f"{sum(s.groups for s in sites.values())} tie "
+            f"group(s) across {len(sites)} site(s), "
+            f"{sum(1 for s in sites.values() if not s.benign)} "
             "suspect"]
         for site in ordered[:limit]:
             tag = "BENIGN " if site.benign else "SUSPECT"

@@ -235,8 +235,8 @@ class IdentityOrderRule(Rule):
 class UnorderedIterationRule(Rule):
     code = "REPRO004"
     name = "unordered-iteration"
-    summary = ("iterating a bare set (or dict.keys() of one-removed "
-               "provenance) bakes hash order into event order")
+    summary = ("iterating a bare set bakes hash order into event "
+               "order (dicts are insertion-ordered and exempt)")
     sim_only = True
 
     def check(self, context: ModuleContext
@@ -260,15 +260,16 @@ class UnorderedIterationRule(Rule):
 
 def _unordered_reason(context: ModuleContext,
                       node: ast.expr) -> str | None:
+    # dict iteration (including .keys()/.values()/.items()) is NOT
+    # flagged: dicts are insertion-ordered since Python 3.7, so their
+    # iteration order is exactly as reproducible as the inserts — which
+    # the other rules police at the insertion sites.
     if isinstance(node, (ast.Set, ast.SetComp)):
         return "a set literal"
     if isinstance(node, ast.Call):
         resolved = context.resolve(node.func)
         if resolved in ("set", "frozenset"):
             return f"a bare {resolved}()"
-        if (isinstance(node.func, ast.Attribute)
-                and node.func.attr == "keys" and not node.args):
-            return "dict.keys() (iterate the dict itself, or sorted())"
     return None
 
 

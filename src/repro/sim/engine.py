@@ -407,9 +407,28 @@ class Simulator:
                 # Events pushed by this fire at the same key form
                 # their own later batch; the urgent lane, whose order
                 # is semantic FIFO, drains between tied fires as the
-                # in-order kernel would drain it.
+                # in-order kernel would drain it.  Drained inline
+                # rather than via step(): once a held urgent event is
+                # re-keyed into the heap, step() falls through to pop
+                # the heap head — an arbitrary *future* event, because
+                # the rest of this batch lives in the local list, not
+                # the heap — advancing the clock mid-batch.  Only
+                # urgent-lane events may fire here.
                 while urgent:
-                    self.step()
+                    pending = urgent.popleft()
+                    hold = pending._hold
+                    if hold is not None:
+                        pending._hold = None
+                        self._sequence += 1
+                        heapq.heappush(
+                            heap, (self.now + hold, PRIORITY_NORMAL,
+                                   self._sequence, pending))
+                        self.fastpath_holds += 1
+                        continue
+                    pending._fire()
+                    self.events_fired += 1
+                    if self._crashed:
+                        raise self._crashed[0].crash_error
         if auditor is not None:
             auditor.flush()  # close the trailing group at drain
 

@@ -9,6 +9,6 @@ def walk(nodes, extra, mapping):
     for node in frozenset(extra):           # line 9: REPRO004
         print(node)
     doubled = [n * 2 for n in {x for x in nodes}]   # line 11: REPRO004
-    for key in mapping.keys():              # line 13: REPRO004
+    for key in mapping:                     # clean: dicts are ordered
         print(key)
     return doubled

@@ -8,6 +8,8 @@ def walk(nodes, mapping):
         print(key)
     for key in mapping:          # dict order is insertion order
         print(key)
+    for key in mapping.keys():   # ...and so is dict.keys() order
+        print(key)
     for node in list(nodes):
         print(node)
     if 3 in set(nodes):          # membership, not iteration

@@ -240,6 +240,44 @@ def test_reverse_mode_keeps_untied_order_and_times():
         (0.5, "a"), (1.0, "b"), (2.0, "c")]
 
 
+def test_reverse_mode_drains_urgent_holds_without_firing_heap():
+    # Regression: a tied batch member whose fire enqueues a
+    # grant-and-hold urgent event.  The per-fire urgent drain must
+    # re-key the held event and stop — never fall through to the heap
+    # (the rest of the batch lives in the local batch list, so the
+    # heap head is an arbitrary *future* event; firing it advances the
+    # clock mid-batch, stamping the remaining tied fires late).
+    def run(reverse: bool):
+        sim = make_sim(TieAuditor(reverse_ties=reverse))
+        cpu = Resource(sim, capacity=1, name="cpu")
+        log: list[tuple[float, str]] = []
+
+        def contender(name):
+            yield sim.timeout(1.0)
+            log.append((sim.now, f"{name}-start"))
+            yield from cpu.use(1.0)
+            log.append((sim.now, f"{name}-done"))
+
+        def bystander():
+            yield sim.timeout(1.5)
+            log.append((sim.now, "bystander"))
+
+        sim.process(contender("a"), name="a")
+        sim.process(contender("b"), name="b")
+        sim.process(bystander(), name="bystander")
+        sim.run()
+        return log
+
+    # The t=0 start batch and the t=1.0 timeout batch both reverse, so
+    # the reversals cancel and both modes must produce this exact
+    # trace; the buggy drain fired the t=1.5 bystander mid-batch and
+    # stamped b-start at 1.5.
+    expected = [(1.0, "a-start"), (1.0, "b-start"), (1.5, "bystander"),
+                (2.0, "a-done"), (3.0, "b-done")]
+    assert run(reverse=False) == expected
+    assert run(reverse=True) == expected
+
+
 def test_reverse_mode_still_audits_ties():
     sim = make_sim(TieAuditor(reverse_ties=True))
     log: list[str] = []
@@ -251,6 +289,28 @@ def test_reverse_mode_still_audits_ties():
     counters = sim.auditor.counters()
     assert counters["audit_tie_groups"] == 3
     assert counters["audit_suspect_groups"] == 0
+
+
+def test_reporting_mid_run_does_not_split_or_drop_groups():
+    # counters()/site_counts()/summary() are diagnostics snapshots:
+    # they must count the in-flight tie group without closing it, so a
+    # group spanning the call is neither split nor dropped.
+    sim = Simulator()
+    auditor = TieAuditor()
+    first, second, third = sim.event(), sim.event(), sim.event()
+    auditor.record(1.0, 1, first, tied_with_next=True)
+    assert auditor.counters()["audit_tie_groups"] == 0  # not a tie yet
+    auditor.record(1.0, 1, second, tied_with_next=True)
+    mid = auditor.counters()
+    assert mid["audit_tie_groups"] == 1       # in-flight pair counted
+    assert mid["audit_tie_events"] == 2
+    assert "1 tie group(s)" in auditor.summary()
+    assert sum(auditor.site_counts()["benign"].values()) == 1
+    assert auditor.sites == {}                # ...without being closed
+    auditor.record(1.0, 1, third, tied_with_next=False)
+    auditor.flush()
+    (site,) = auditor.sites.values()          # one group of all three
+    assert (site.groups, site.events) == (1, 3)
 
 
 # -- label helpers -----------------------------------------------------------

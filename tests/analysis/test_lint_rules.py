@@ -28,7 +28,7 @@ BAD_CASES = [
     ("bad_host_time.py", ["REPRO001"] * 6),
     ("bad_random.py", ["REPRO002"] * 8),
     ("bad_identity.py", ["REPRO003"] * 4),
-    ("bad_set_iter.py", ["REPRO004"] * 5),
+    ("bad_set_iter.py", ["REPRO004"] * 4),
     ("bad_float_keys.py", ["REPRO005"] * 4),
     ("bad_default_hash.py", ["REPRO006"] * 4),
 ]
