@@ -88,6 +88,27 @@ def time_microbench(reps: int) -> dict:
     return _summary(times)
 
 
+def time_dataplane(reps: int) -> dict | None:
+    """Data-plane microbench (hash/filter/build/probe, no simulator).
+
+    Runs the vector arm when ``repro.core.kernels`` is importable and
+    ``REPRO_VECTOR`` allows it, else the scalar arm — so a pre-kernels
+    revision baselined via PYTHONPATH records the scalar numbers the
+    vector plane replaced.
+    """
+    try:
+        from benchmarks.test_kernel_microbench import run_dataplane_workload
+    except ImportError:
+        return None  # revision predates the data-plane microbench
+    run_dataplane_workload()  # warm-up (imports, allocator)
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        run_dataplane_workload()
+        times.append(time.perf_counter() - started)
+    return _summary(times)
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Append a kernel-perf sample to BENCH_kernel.json")
@@ -111,6 +132,9 @@ def main(argv: list | None = None) -> int:
         "figure5_sweep": {},
         "kernel_microbench": time_microbench(args.reps),
     }
+    dataplane = time_dataplane(args.reps)
+    if dataplane is not None:
+        sample["dataplane_microbench"] = dataplane
     for jobs in args.jobs:
         timing = time_figure5(args.scale, jobs, args.reps)
         if timing is not None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import typing
 
 from repro import hashing
+from repro.core import kernels
 
 
 class BitFilter:
@@ -38,6 +39,7 @@ class BitFilter:
         self.sets = 0
         self.tests = 0
         self.passed = 0
+        self._unpacked = None  # cached bool-array view of _bits
 
     def _index(self, hash_code: int) -> int:
         return hashing.remix(hash_code) % self.num_bits
@@ -46,6 +48,36 @@ class BitFilter:
         """Mark a building-relation hash code as present."""
         self._bits |= 1 << self._index(hash_code)
         self.sets += 1
+        self._unpacked = None
+
+    def set_batch(self, hash_codes) -> None:
+        """Mark a whole page of hash codes (array of uint64).
+
+        OR-ing a word built from the page is exactly the per-code
+        ``set`` loop: bitwise OR commutes and the ``sets`` counter only
+        observes the total.
+        """
+        n = len(hash_codes)
+        if n == 0:
+            return
+        self._bits |= kernels.marks_word(hash_codes, self.num_bits)
+        self.sets += n
+        self._unpacked = None
+
+    def test_batch(self, hash_codes):
+        """Test a whole page; returns a bool array of hits.
+
+        Bit-for-bit the per-code ``test`` loop — the probe phase never
+        interleaves with sets on the same filter, so the unpacked view
+        stays valid across a page.
+        """
+        if self._unpacked is None or len(self._unpacked) != self.num_bits:
+            self._unpacked = kernels.unpack_word(self._bits, self.num_bits)
+        hits = self._unpacked[
+            kernels.filter_indices(hash_codes, self.num_bits)]
+        self.tests += len(hash_codes)
+        self.passed += int(hits.sum())
+        return hits
 
     def test(self, hash_code: int) -> bool:
         """Might a probing tuple with this hash code join?
@@ -96,6 +128,11 @@ class FilterBank:
 
     def test(self, site: int, hash_code: int) -> bool:
         return self.filters[site].test(hash_code)
+
+    def test_many(self, sites, hash_codes):
+        """Test each hash code against its destination site's filter;
+        returns a bool array aligned with the inputs."""
+        return kernels.bank_test_many(self.filters, sites, hash_codes)
 
     @property
     def total_tests(self) -> int:

@@ -116,6 +116,33 @@ class JoinHashTable:
             self.max_chain = chain_length
         self._histogram[self._bin(hash_code)] += 1
 
+    def insert_page(self, rows: typing.Sequence[Row],
+                    hashes: typing.Sequence[int]) -> None:
+        """Insert a whole page at once.
+
+        Caller guarantees ``cutoff is None`` and ``count + len(rows) <=
+        capacity`` — exactly the regime where the scalar protocol never
+        calls ``admits``/``make_room`` between inserts, so this is the
+        plain insert loop with the per-row bookkeeping hoisted.
+        """
+        slots = self._slots
+        histogram = self._histogram
+        max_chain = self.max_chain
+        for row, hash_code in zip(rows, hashes):
+            chain = slots.get(hash_code)
+            if chain is None:
+                slots[hash_code] = [row]
+                chain_length = 1
+            else:
+                chain.append(row)
+                chain_length = len(chain)
+            if chain_length > max_chain:
+                max_chain = chain_length
+            histogram[hash_code * HISTOGRAM_BINS // HASH_MODULUS] += 1
+        self.max_chain = max_chain
+        self.count += len(rows)
+        self.total_inserted += len(rows)
+
     # -- overflow ------------------------------------------------------------
 
     @staticmethod
@@ -184,6 +211,39 @@ class JoinHashTable:
             return [], 0
         matches = [row for row in chain if row[key_index] == key_value]
         return matches, len(chain)
+
+    def probe_page(self, rows: typing.Sequence[Row],
+                   hashes: typing.Sequence[int], outer_key: int,
+                   inner_key: int, tuple_receive: float,
+                   tuple_probe: float, tuple_chain_link: float,
+                   result_move: float,
+                   emit: typing.Callable[[Row], None]) -> float:
+        """Probe a whole page; returns the accumulated CPU time.
+
+        Bit-equal to the scalar probe consumer: per row the charges are
+        ``cpu += tuple_receive; cpu += tuple_probe [+ (chain-1) *
+        tuple_chain_link]; cpu += result_move`` per match, in the same
+        order and operand grouping.
+        """
+        slots = self._slots
+        cpu = 0.0
+        for row, hash_code in zip(rows, hashes):
+            cpu += tuple_receive
+            chain = slots.get(hash_code)
+            if chain is None:
+                cpu += tuple_probe
+                continue
+            chain_length = len(chain)
+            if chain_length == 1:
+                cpu += tuple_probe
+            else:
+                cpu += tuple_probe + (chain_length - 1) * tuple_chain_link
+            value = row[outer_key]
+            for match in chain:
+                if match[inner_key] == value:
+                    cpu += result_move
+                    emit(match + row)
+        return cpu
 
     def resident_rows(self) -> typing.Iterator[tuple[Row, int]]:
         """All (row, hash) pairs currently resident (diagnostics)."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.core import kernels
 from repro.core.bit_filter import FilterBank
 from repro.core.hash_table import JoinHashTable, JoinOverflowError
 from repro.core.split_table import SplitTable
@@ -62,6 +63,14 @@ class StreamSource:
               ) -> typing.Iterator[typing.Sequence[Row]]:
         raise NotImplementedError
 
+    def column_data(self, level: int, family: str) -> tuple[
+            typing.Sequence[Row] | None, typing.Sequence[int] | None]:
+        """(rows, stored_hashes) when the whole feed is materialized
+        up front — the precondition for the vectorized data plane.
+        ``stored_hashes`` short-circuits hashing when the rows carry a
+        hash sidecar computed under the same (level, family)."""
+        return None, None
+
     @property
     def n_tuples(self) -> int:
         raise NotImplementedError
@@ -81,6 +90,10 @@ class FragmentSource(StreamSource):
               ) -> typing.Iterator[typing.Sequence[Row]]:
         return fragment_pages(self.rows, tuples_per_page)
 
+    def column_data(self, level: int, family: str) -> tuple[
+            typing.Sequence[Row] | None, typing.Sequence[int] | None]:
+        return self.rows, None
+
     @property
     def n_tuples(self) -> int:
         return len(self.rows)
@@ -98,6 +111,25 @@ class FilesSource(StreamSource):
     def pages(self, tuples_per_page: int
               ) -> typing.Iterator[typing.Sequence[Row]]:
         return chain_file_pages(self.files)
+
+    def column_data(self, level: int, family: str) -> tuple[
+            typing.Sequence[Row] | None, typing.Sequence[int] | None]:
+        if len(self.files) == 1:
+            file = self.files[0]
+            return file.rows, file.stored_hashes(level, family)
+        # Files are read back to back, so the concatenation is the scan
+        # order; the sidecar is usable only if every file carries one.
+        rows: list[Row] = []
+        stored: list[int] | None = []
+        for file in self.files:
+            rows.extend(file.rows)
+            if stored is not None:
+                hashes = file.stored_hashes(level, family)
+                if hashes is None:
+                    stored = None
+                else:
+                    stored.extend(hashes)
+        return rows, stored
 
     @property
     def n_tuples(self) -> int:
@@ -165,11 +197,22 @@ class HashJoinRound:
     def cutoffs(self) -> list[int | None]:
         return [table.cutoff for table in self.tables]
 
+    def _column(self, source: StreamSource,
+                key_index: int) -> "kernels.Column | None":
+        """The source's resolved hash column, or None for the scalar
+        path (vector plane off, selection predicate at the scan site,
+        or a column the kernels cannot hash)."""
+        if not self.driver.vectorized or source.predicate is not None:
+            return None
+        family = self.driver.spec.hash_family
+        rows, stored = source.column_data(self.level, family)
+        return kernels.resolve_column(self.machine, rows, stored,
+                                      key_index, self.level, family)
+
     # -- build side ----------------------------------------------------------
 
     def build_route_page(self, router: Router,
-                         predicate: typing.Callable[[Row], bool] | None
-                         ) -> typing.Callable:
+                         source: StreamSource) -> typing.Callable:
         """Standard building-relation route: hash, mod-J, transmit.
 
         Page-level: one call scans a whole page (scan CPU + predicate
@@ -184,6 +227,12 @@ class HashJoinRound:
         per_tuple = costs.tuple_hash + costs.tuple_move
         node_ids = [site.node_id for site in self.sites]
         n_entries = len(self.joining_table)
+        column = self._column(source, self.driver.inner_key)
+        if column is not None:
+            return kernels.vector_simple_route(
+                self.machine.dataplane, column, router, node_ids, None,
+                n_entries, tuple_scan, per_tuple)
+        predicate = source.predicate
         hasher = self.driver.hasher(self.level)
         key = self.driver.inner_key
         give_batch = router.give_batch
@@ -199,26 +248,29 @@ class HashJoinRound:
                            page, hashes)
                 return cpu_for(len(page))
 
-            return route_page
+        else:
 
-        def route_page(page: typing.Sequence[Row]) -> float:
-            cpu = 0.0
-            dsts: list[int] = []
-            rows: list[Row] = []
-            hashes: list[int] = []
-            for row in page:
-                cpu += tuple_scan
-                if not predicate(row):
-                    continue
-                h = hasher(row[key])
-                dsts.append(node_ids[h % n_entries])
-                rows.append(row)
-                hashes.append(h)
-                cpu += per_tuple
-            if rows:
-                give_batch(dsts, rows, hashes)
-            return cpu
+            def route_page(page: typing.Sequence[Row]) -> float:
+                cpu = 0.0
+                dsts: list[int] = []
+                rows: list[Row] = []
+                hashes: list[int] = []
+                for row in page:
+                    cpu += tuple_scan
+                    if not predicate(row):
+                        continue
+                    h = hasher(row[key])
+                    dsts.append(node_ids[h % n_entries])
+                    rows.append(row)
+                    hashes.append(h)
+                    cpu += per_tuple
+                if rows:
+                    give_batch(dsts, rows, hashes)
+                return cpu
 
+        if self.driver.vectorized:
+            return kernels.counting_scalar(route_page,
+                                           self.machine.dataplane)
         return route_page
 
     def build_consumer(self, site: int, port: str, n_producers: int
@@ -252,14 +304,46 @@ class HashJoinRound:
         insert = table.insert
         host_id = host.node_id
         give = ov_router.give
+        # Inlined NetworkService.receive_charge (both message kinds on
+        # this port carry src_node, so the general path reduces to a
+        # two-constant pick charged on this node's CPU).
+        node_id = node.node_id
+        cpu_res_use = node.cpu.use
+        sc_cost = costs.packet_shortcircuit
+        recv_cost = costs.packet_protocol_receive
+        # Page-granular fast path: while no cutoff exists and the whole
+        # packet fits, the scalar protocol degenerates to "charge
+        # receive_update [+ filter_set] + tuple_build per row, set the
+        # filter bit, insert" — batched below with bit-identical CPU
+        # (prefix tables replay the same additions) and identical table
+        # state (insert order preserved, filter OR commutes).
+        vector = driver.vectorized
+        dataplane = machine.dataplane if vector else None
+        site_filter = self.bank[site] if self.bank is not None else None
+        if site_filter is not None:
+            batch_cpu = constant_page_cost(receive_update, filter_set,
+                                           tuple_build)
+        else:
+            batch_cpu = constant_page_cost(receive_update, tuple_build)
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
-            yield from machine.network.receive_charge(node.node_id, message)
-            if isinstance(message, EndOfStream):
+            yield from cpu_res_use(
+                sc_cost if message.src_node == node_id else recv_cost)
+            if type(message) is EndOfStream:
                 eos_remaining -= 1
                 continue
-            assert isinstance(message, DataPacket), message
+            assert type(message) is DataPacket, message
+            if (vector and table.cutoff is None
+                    and table.count + len(message.rows) <= table.capacity):
+                dataplane.packets_batched += 1
+                if site_filter is not None:
+                    site_filter.set_batch(message.hashes)
+                table.insert_page(message.rows, message.hashes)
+                yield from node.cpu_use(batch_cpu(len(message.rows)))
+                continue
+            if vector:
+                dataplane.packets_scalar += 1
             cpu = 0.0
             for row, h in zip(message.rows, message.hashes):
                 cpu += receive_update
@@ -283,7 +367,8 @@ class HashJoinRound:
                     cpu += tuple_move
                     give(host_id, row, h, bucket=site)
             yield from node.cpu_use(cpu)
-            yield from ov_router.flush_ready()
+            if ov_router._ready:
+                yield from ov_router.flush_ready()
         yield from ov_router.close()
 
     def overflow_writers(self, port: str, which: str,
@@ -324,8 +409,7 @@ class HashJoinRound:
     # -- probe side -----------------------------------------------------------
 
     def probe_route_page(self, probe_router: Router, spool_router: Router,
-                         predicate: typing.Callable[[Row], bool] | None
-                         ) -> typing.Callable:
+                         source: StreamSource) -> typing.Callable:
         """Outer-relation route: filter test, cutoff check, transmit.
 
         Tuples whose destination site overflowed and whose hash is at
@@ -352,6 +436,14 @@ class HashJoinRound:
         hasher = self.driver.hasher(self.level)
         key = self.driver.outer_key
         driver = self.driver
+        column = self._column(source, key)
+        if column is not None:
+            return kernels.vector_probe_route(
+                self.machine.dataplane, column, probe_router,
+                spool_router, site_ids, host_ids, n_entries, cutoffs,
+                bank, costs,
+                lambda n: driver.bump("outer_tuples_spooled", n))
+        predicate = source.predicate
 
         if (predicate is None and bank is None
                 and all(c is None for c in cutoffs)):
@@ -430,26 +522,45 @@ class HashJoinRound:
         tuple_chain_link = costs.tuple_chain_link
         result_move = costs.tuple_result + costs.tuple_move
         probe = table.probe
+        probe_page = table.probe_page
         give_round_robin = store_router.give_round_robin
+        vector = self.driver.vectorized
+        dataplane = machine.dataplane if vector else None
+        # Inlined NetworkService.receive_charge (both message kinds on
+        # this port carry src_node, so the general path reduces to a
+        # two-constant pick charged on this node's CPU).
+        node_id = node.node_id
+        cpu_res_use = node.cpu.use
+        sc_cost = costs.packet_shortcircuit
+        recv_cost = costs.packet_protocol_receive
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
-            yield from machine.network.receive_charge(node.node_id, message)
-            if isinstance(message, EndOfStream):
+            yield from cpu_res_use(
+                sc_cost if message.src_node == node_id else recv_cost)
+            if type(message) is EndOfStream:
                 eos_remaining -= 1
                 continue
-            assert isinstance(message, DataPacket), message
-            cpu = 0.0
-            for row, h in zip(message.rows, message.hashes):
-                cpu += tuple_receive
-                matches, chain = probe(h, row[outer_key], inner_key)
-                cpu += (tuple_probe
-                        + max(0, chain - 1) * tuple_chain_link)
-                for match in matches:
-                    cpu += result_move
-                    give_round_robin(match + row)
+            assert type(message) is DataPacket, message
+            if vector:
+                dataplane.packets_batched += 1
+                cpu = probe_page(message.rows, message.hashes,
+                                 outer_key, inner_key, tuple_receive,
+                                 tuple_probe, tuple_chain_link,
+                                 result_move, give_round_robin)
+            else:
+                cpu = 0.0
+                for row, h in zip(message.rows, message.hashes):
+                    cpu += tuple_receive
+                    matches, chain = probe(h, row[outer_key], inner_key)
+                    cpu += (tuple_probe
+                            + max(0, chain - 1) * tuple_chain_link)
+                    for match in matches:
+                        cpu += result_move
+                        give_round_robin(match + row)
             yield from node.cpu_use(cpu)
-            yield from store_router.flush_ready()
+            if store_router._ready:
+                yield from store_router.flush_ready()
         yield from store_router.close()
 
     # -- bookkeeping --------------------------------------------------------
@@ -519,7 +630,7 @@ def run_round(driver: "JoinDriver",
         producers.append((source.node, scan_pages(
             machine, source.node, source.pages(inner_tpp), [router],
             read_from_disk=read_from_disk,
-            route_page=round_.build_route_page(router, source.predicate))))
+            route_page=round_.build_route_page(router, source))))
     consumers = [(sites[j], round_.build_consumer(j, build_port,
                                                   len(r_sources)))
                  for j in range(len(sites))]
@@ -557,7 +668,7 @@ def run_round(driver: "JoinDriver",
             [probe_router, spool_router],
             read_from_disk=read_from_disk,
             route_page=round_.probe_route_page(
-                probe_router, spool_router, source.predicate))))
+                probe_router, spool_router, source))))
     consumers = []
     for j, site in enumerate(sites):
         store_router = Router(machine, site, driver.disk_nodes,

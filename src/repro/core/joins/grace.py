@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.core import kernels
 from repro.core.bit_filter import FilterBank
 from repro.core.joins.base import BitFilterPolicy, JoinDriver
 from repro.core.joins.common import FilesSource, run_round
@@ -107,8 +108,11 @@ class GraceHashJoin(JoinDriver):
         num_buckets = table.num_buckets()
         port = machine.fresh_port(f"grace.form{which}")
         tuple_bytes = relation.schema.tuple_bytes
+        # Bucket files carry their level-0 hash sidecar so the
+        # bucket-joining scans never rehash the key column.
         files: list[list[PagedFile]] = [
-            [PagedFile(f"{which}.b{b}.d{d}", tuple_bytes, costs.page_size)
+            [PagedFile(f"{which}.b{b}.d{d}", tuple_bytes, costs.page_size,
+                       hash_tag=(0, self.spec.hash_family))
              for b in range(num_buckets)]
             for d in range(len(self.disk_nodes))]
 
@@ -120,7 +124,7 @@ class GraceHashJoin(JoinDriver):
                             tuple_bytes)
             route_page = self._forming_route_page(
                 router, table, key_index, forming_bank, build_filter,
-                predicate)
+                predicate, relation.fragments[d])
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(relation.fragments[d],
@@ -145,7 +149,8 @@ class GraceHashJoin(JoinDriver):
                             key_index: int,
                             forming_bank: FilterBank | None,
                             build_filter: bool,
-                            predicate: typing.Callable[[Row], bool] | None
+                            predicate: typing.Callable[[Row], bool] | None,
+                            rows: typing.Sequence[Row]
                             ) -> typing.Callable:
         """Page-level bucket-forming route: one ``give_batch`` per
         page; per-row float accumulation order matches the per-tuple
@@ -160,6 +165,18 @@ class GraceHashJoin(JoinDriver):
         hasher = self.hasher(0)
         give_batch = router.give_batch
 
+        if (forming_bank is None and predicate is None
+                and self.vectorized):
+            column = kernels.resolve_column(
+                self.machine, rows, None, key_index, 0,
+                self.spec.hash_family)
+            if column is not None:
+                return kernels.vector_simple_route(
+                    self.machine.dataplane, column, router,
+                    [e.node.node_id for e in table.entries],
+                    [e.bucket for e in table.entries],
+                    len(table), tuple_scan, tuple_hash + tuple_move)
+
         if forming_bank is None and predicate is None:
             # Constant per-row cost: prefix-table CPU + comprehensions.
             r_const = tuple_hash + tuple_move
@@ -172,6 +189,9 @@ class GraceHashJoin(JoinDriver):
                            hashes, [e.bucket for e in entries])
                 return cpu_for(len(page))
 
+            if self.vectorized:
+                return kernels.counting_scalar(route_page,
+                                               self.machine.dataplane)
             return route_page
 
         def route_page(page: typing.Sequence[Row]) -> float:
@@ -206,4 +226,7 @@ class GraceHashJoin(JoinDriver):
                 give_batch(dsts, rows, hashes, buckets)
             return cpu
 
+        if self.vectorized:
+            return kernels.counting_scalar(route_page,
+                                           self.machine.dataplane)
         return route_page

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.core import kernels
 from repro.core.bit_filter import FilterBank
 from repro.core.joins.base import BitFilterPolicy, JoinDriver
 from repro.core.joins.common import (
@@ -127,7 +128,7 @@ class HybridHashJoin(JoinDriver):
                 routers.append(temp_router)
             route_page = self._inner_route_page(
                 table, build_router, temp_router, forming_bank,
-                self.spec.inner_predicate)
+                self.spec.inner_predicate, self.inner.fragments[d])
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(self.inner.fragments[d],
@@ -152,7 +153,8 @@ class HybridHashJoin(JoinDriver):
     def _inner_route_page(self, table: SplitTable, build_router: Router,
                           temp_router: Router | None,
                           forming_bank: FilterBank | None,
-                          predicate: typing.Callable[[Row], bool] | None
+                          predicate: typing.Callable[[Row], bool] | None,
+                          fragment: typing.Sequence[Row]
                           ) -> typing.Callable:
         """Page-level combined partition/build route: one
         ``give_batch`` per router per page; per-row float accumulation
@@ -164,6 +166,18 @@ class HybridHashJoin(JoinDriver):
         key_index = self.inner_key
         hasher = self.hasher(0)
         n_entries = len(table)
+        if (forming_bank is None and predicate is None
+                and self.vectorized):
+            column = kernels.resolve_column(
+                self.machine, fragment, None, key_index, 0,
+                self.spec.hash_family)
+            if column is not None:
+                return kernels.vector_hybrid_inner_route(
+                    self.machine.dataplane, column, build_router,
+                    temp_router,
+                    [e.node.node_id for e in table.entries],
+                    [e.bucket for e in table.entries],
+                    tuple_scan, per_tuple)
         # Without a forming filter the cost is per_tuple on both
         # branches, so the page CPU comes from a prefix table; the
         # loop still splits destinations between the two routers.
@@ -224,6 +238,9 @@ class HybridHashJoin(JoinDriver):
                                        t_buckets)
             return cpu
 
+        if self.vectorized:
+            return kernels.counting_scalar(route_page,
+                                           self.machine.dataplane)
         return route_page
 
     # ------------------------------------------------------------------
@@ -262,7 +279,8 @@ class HybridHashJoin(JoinDriver):
                 routers.append(temp_router)
             route_page = self._outer_route_page(
                 table, round0, probe_router, spool_router, temp_router,
-                forming_bank, self.spec.outer_predicate)
+                forming_bank, self.spec.outer_predicate,
+                self.outer.fragments[d])
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(self.outer.fragments[d],
@@ -291,7 +309,8 @@ class HybridHashJoin(JoinDriver):
                           probe_router: Router, spool_router: Router,
                           temp_router: Router | None,
                           forming_bank: FilterBank | None,
-                          predicate: typing.Callable[[Row], bool] | None
+                          predicate: typing.Callable[[Row], bool] | None,
+                          fragment: typing.Sequence[Row]
                           ) -> typing.Callable:
         """Page-level combined partition/probe route: one
         ``give_batch`` per router per page; per-row float accumulation
@@ -307,6 +326,19 @@ class HybridHashJoin(JoinDriver):
         host_ids = [host.node_id for host in round0.host_of]
         hasher = self.hasher(0)
         n_entries = len(table)
+        if (forming_bank is None and predicate is None
+                and self.vectorized):
+            column = kernels.resolve_column(
+                self.machine, fragment, None, key_index, 0,
+                self.spec.hash_family)
+            if column is not None:
+                return kernels.vector_hybrid_outer_route(
+                    self.machine.dataplane, column, probe_router,
+                    spool_router, temp_router,
+                    [e.node.node_id for e in table.entries],
+                    [e.bucket for e in table.entries], host_ids,
+                    cutoffs, bank, costs,
+                    lambda n: self.bump("outer_tuples_spooled", n))
         # No filters, no cutoffs, no predicate: constant per-row cost
         # on every branch — page CPU from a prefix table.
         cpu_for = (constant_page_cost(tuple_scan,
@@ -399,6 +431,9 @@ class HybridHashJoin(JoinDriver):
                                        t_buckets)
             return cpu
 
+        if self.vectorized:
+            return kernels.counting_scalar(route_page,
+                                           self.machine.dataplane)
         return route_page
 
     # ------------------------------------------------------------------
@@ -407,10 +442,14 @@ class HybridHashJoin(JoinDriver):
 
     def _bucket_files(self, which: str, tuple_bytes: int,
                       num_buckets: int) -> list[list[PagedFile | None]]:
-        """files[disk][bucket] for buckets 1..N-1 (slot 0 unused)."""
+        """files[disk][bucket] for buckets 1..N-1 (slot 0 unused).
+
+        Bucket files carry their level-0 hash sidecar so the
+        bucket-joining scans never rehash the key column."""
         return [
             [None] + [PagedFile(f"hy{which}.b{b}.d{d}", tuple_bytes,
-                                self.costs.page_size)
+                                self.costs.page_size,
+                                hash_tag=(0, self.spec.hash_family))
                       for b in range(1, num_buckets)]
             for d in range(len(self.disk_nodes))]
 

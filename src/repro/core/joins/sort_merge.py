@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.core import kernels
 from repro.core.bit_filter import FilterBank
 from repro.core.joins.base import JoinConfigError, JoinDriver
 from repro.engine.node import Node
@@ -117,8 +118,9 @@ class SortMergeJoin(JoinDriver):
         for d, node in enumerate(self.disk_nodes):
             router = Router(machine, node, self.disk_nodes, port,
                             tuple_bytes)
-            route_page = self._partition_route_page(router, key_index,
-                                                    test_bank, predicate)
+            route_page = self._partition_route_page(
+                router, key_index, test_bank, predicate,
+                relation.fragments[d])
             producers.append((node, scan_pages(
                 machine, node,
                 fragment_pages(relation.fragments[d],
@@ -127,17 +129,24 @@ class SortMergeJoin(JoinDriver):
         consumers: list[tuple[Node, typing.Generator]] = []
         for d, node in enumerate(self.disk_nodes):
             hook = None
+            batch_hook = None
             if build_bank is not None:
-                def hook(row: Row, hash_code: int, _site: int = d,
-                         _bank: FilterBank = build_bank) -> float:
-                    _bank.set(_site, hash_code)
-                    return costs.filter_set
+                if self.vectorized:
+                    batch_hook = kernels.writer_filter_hook(
+                        build_bank[d], costs.tuple_store,
+                        costs.filter_set)
+                else:
+                    def hook(row: Row, hash_code: int, _site: int = d,
+                             _bank: FilterBank = build_bank) -> float:
+                        _bank.set(_site, hash_code)
+                        return costs.filter_set
             consumers.append((node, tempfile_writer(
                 machine, node, port, len(self.disk_nodes),
                 select_file=lambda bucket, file=files[d]: file,
                 stats=self.bucket_forming_writes,
                 close_files=[files[d]],
-                per_tuple_hook=hook)))
+                per_tuple_hook=hook,
+                batch_hook=batch_hook)))
         yield from self.scheduler.execute_phase(
             f"sm.part{which}", producers, consumers,
             split_table_bytes=len(self.disk_nodes) * 40)
@@ -146,7 +155,8 @@ class SortMergeJoin(JoinDriver):
 
     def _partition_route_page(self, router: Router, key_index: int,
                               test_bank: FilterBank | None,
-                              predicate: typing.Callable[[Row], bool] | None
+                              predicate: typing.Callable[[Row], bool] | None,
+                              fragment: typing.Sequence[Row]
                               ) -> typing.Callable:
         """Page-level range-partitioning route: one ``give_batch`` per
         page; per-row float accumulation order matches the per-tuple
@@ -161,6 +171,21 @@ class SortMergeJoin(JoinDriver):
         hasher = self.hasher(0)
         give_batch = router.give_batch
 
+        if predicate is None and self.vectorized:
+            column = kernels.resolve_column(
+                self.machine, fragment, None, key_index, 0,
+                self.spec.hash_family)
+            if column is not None:
+                if test_bank is None:
+                    return kernels.vector_simple_route(
+                        self.machine.dataplane, column, router,
+                        node_ids, None, num_sites, tuple_scan,
+                        tuple_hash + tuple_move)
+                return kernels.vector_probe_route(
+                    self.machine.dataplane, column, router, None,
+                    node_ids, None, num_sites,
+                    [None] * num_sites, test_bank, costs, None)
+
         if test_bank is None and predicate is None:
             # Constant per-row cost: prefix-table CPU + comprehensions.
             r_const = tuple_hash + tuple_move
@@ -172,6 +197,9 @@ class SortMergeJoin(JoinDriver):
                            page, hashes)
                 return cpu_for(len(page))
 
+            if self.vectorized:
+                return kernels.counting_scalar(route_page,
+                                               self.machine.dataplane)
             return route_page
 
         def route_page(page: typing.Sequence[Row]) -> float:
@@ -200,6 +228,9 @@ class SortMergeJoin(JoinDriver):
                 give_batch(dsts, rows, hashes)
             return cpu
 
+        if self.vectorized:
+            return kernels.counting_scalar(route_page,
+                                           self.machine.dataplane)
         return route_page
 
     # ------------------------------------------------------------------

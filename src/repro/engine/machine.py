@@ -66,6 +66,13 @@ class GammaMachine:
         self.network.attach_cpus([n.cpu for n in self.nodes])
         self._port_counter = 0
 
+        # Data-plane instrumentation (imported lazily: repro.core pulls
+        # in the join drivers, which import this module).
+        from repro.core.kernels import DataPlaneCounters
+        from repro.hashing import KeyHashMemo
+        self.dataplane = DataPlaneCounters()
+        self.key_hash_memo = KeyHashMemo()
+
     # -- factories ---------------------------------------------------------
 
     @classmethod
@@ -136,6 +143,13 @@ class GammaMachine:
     def disk_page_writes(self) -> int:
         return sum(n.disk.pages_written for n in self.disk_nodes
                    if n.disk is not None)
+
+    def dataplane_counters(self) -> dict[str, int]:
+        """Vectorized data-plane statistics (``--profile`` reporting)."""
+        counters = self.dataplane.as_dict()
+        counters["dp_hash_cache_hits"] = self.key_hash_memo.hits
+        counters["dp_hash_cache_misses"] = self.key_hash_memo.misses
+        return counters
 
     def cpu_utilisations(self) -> dict[str, float]:
         """Per-node CPU utilisation over the elapsed simulation."""

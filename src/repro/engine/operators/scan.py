@@ -133,6 +133,7 @@ def scan_pages(machine: "GammaMachine", node: Node,
             yield from disk.read_pages(1, sequential=True)
         yield from cpu_use(route_page(page))
         for router in routers:
-            yield from router.flush_ready()
+            if router._ready:
+                yield from router.flush_ready()
     for router in routers:
         yield from router.close()

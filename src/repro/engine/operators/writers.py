@@ -57,6 +57,12 @@ class WriterStats:
 #: at its disk site, §4.2).
 TupleHook = typing.Callable[[Row, int], float]
 
+#: Optional page-batch callback: receives a packet's (rows, hashes) and
+#: returns the packet's *entire* store CPU (replacing the per-tuple
+#: store + hook arithmetic with a bit-identical batch computation).
+BatchHook = typing.Callable[
+    [typing.Sequence[Row], typing.Sequence[int]], float]
+
 
 def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
                     n_producers: int, select_file: FileSelector,
@@ -64,6 +70,7 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
                     collect: list[Row] | None = None,
                     close_files: typing.Sequence[PagedFile] = (),
                     per_tuple_hook: TupleHook | None = None,
+                    batch_hook: BatchHook | None = None,
                     ) -> typing.Generator:
     """Drain ``(node, port)`` into local temp files until all producers
     close their streams.
@@ -87,27 +94,37 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
     disk = node.require_disk()
     costs = machine.costs
     tuple_store = costs.tuple_store
-    receive_charge = machine.network.receive_charge
+    # Inlined NetworkService.receive_charge (every message here carries
+    # src_node, so the getattr-defaulted general path reduces to a
+    # two-constant pick charged on this node's CPU).
+    node_id = node.node_id
+    cpu_res_use = node.cpu.use
+    sc_cost = costs.packet_shortcircuit
+    recv_cost = costs.packet_protocol_receive
     mailbox = machine.registry.mailbox(node.node_id, port)
     eos_remaining = n_producers
     while eos_remaining > 0:
         message = yield mailbox.get()
-        yield from receive_charge(node.node_id, message)
-        if isinstance(message, EndOfStream):
+        yield from cpu_res_use(
+            sc_cost if message.src_node == node_id else recv_cost)
+        if type(message) is EndOfStream:
             eos_remaining -= 1
             continue
-        assert isinstance(message, DataPacket), message
+        assert type(message) is DataPacket, message
         if stats is not None:
             stats.tuples_received += len(message.rows)
             if message.src_node == node.node_id:
                 stats.tuples_local += len(message.rows)
-        cpu = len(message.rows) * tuple_store
-        if per_tuple_hook is not None:
-            for row, hash_code in zip(message.rows, message.hashes):
-                cpu += per_tuple_hook(row, hash_code)
+        if batch_hook is not None:
+            cpu = batch_hook(message.rows, message.hashes)
+        else:
+            cpu = len(message.rows) * tuple_store
+            if per_tuple_hook is not None:
+                for row, hash_code in zip(message.rows, message.hashes):
+                    cpu += per_tuple_hook(row, hash_code)
         yield from node.cpu_use(cpu)
         file = select_file(message.bucket)
-        pages_completed = file.extend(message.rows)
+        pages_completed = file.extend(message.rows, message.hashes)
         if collect is not None:
             collect.extend(message.rows)
         if pages_completed:

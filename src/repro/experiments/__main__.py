@@ -76,6 +76,8 @@ def _kernel_summary(outcome) -> str | None:
             continue
         points += 1
         for key, value in point.kernel_counters.items():
+            if key.startswith("dp_"):
+                continue  # reported by _dataplane_summary
             if key == "heap_peak":
                 totals[key] = max(totals.get(key, 0), value)
             else:
@@ -84,6 +86,45 @@ def _kernel_summary(outcome) -> str | None:
         return None
     body = "  ".join(f"{k}={v}" for k, v in sorted(totals.items()))
     return f"## kernel ({points} points): {body}"
+
+
+def _dataplane_summary(outcome) -> str | None:
+    """Aggregate the vectorized data-plane counters (profile mode).
+
+    Shown alongside the kernel block so a profile run answers, at a
+    glance, how much of the tuple traffic rode the page-batch plane
+    (``REPRO_VECTOR``) versus the scalar fallbacks, and how often the
+    per-relation key-hash memo spared a rehash.
+    """
+    totals: dict[str, int] = {}
+    points = 0
+    for point in _iter_sweep_points(outcome):
+        if point.kernel_counters is None:
+            continue
+        points += 1
+        for key, value in point.kernel_counters.items():
+            if key.startswith("dp_"):
+                totals[key] = totals.get(key, 0) + value
+    if not points or not totals:
+        return None
+
+    def rate(hit: int, miss: int) -> str:
+        total = hit + miss
+        return f"{hit / total:.1%}" if total else "n/a"
+
+    pages = totals.get("dp_pages_batched", 0)
+    scalar_pages = totals.get("dp_pages_scalar", 0)
+    packets = totals.get("dp_packets_batched", 0)
+    scalar_packets = totals.get("dp_packets_scalar", 0)
+    hits = totals.get("dp_hash_cache_hits", 0)
+    misses = totals.get("dp_hash_cache_misses", 0)
+    return (f"## data plane ({points} points): "
+            f"pages batched={pages} (scalar fallback={scalar_pages}, "
+            f"rows={totals.get('dp_rows_batched', 0)})  "
+            f"packets batched={packets} "
+            f"(scalar fallback={scalar_packets})  "
+            f"hash-cache hit rate={rate(hits, misses)} "
+            f"({hits}/{hits + misses})")
 
 
 def _audit_summary(outcome) -> str | None:
@@ -134,6 +175,9 @@ def run_experiment(name: str, config: ExperimentConfig,
         summary = _kernel_summary(outcome)
         if summary:
             text += "\n\n" + summary
+        dataplane = _dataplane_summary(outcome)
+        if dataplane:
+            text += "\n\n" + dataplane
         stream = io.StringIO()
         pstats.Stats(profiler, stream=stream).sort_stats(
             "tottime").print_stats(15)

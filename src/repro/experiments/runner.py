@@ -135,7 +135,8 @@ def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
     return SweepPoint(x=memory_ratio,
                       response_time=result.response_time,
                       result=result if keep_result else None,
-                      kernel_counters=(machine.sim.kernel_counters()
+                      kernel_counters=({**machine.sim.kernel_counters(),
+                                        **machine.dataplane_counters()}
                                        if config.profile else None),
                       audit_sites=(machine.sim.auditor.site_counts()
                                    if machine.sim.auditor is not None

@@ -165,6 +165,50 @@ HASH_FAMILY_HASHERS = {
 }
 
 
+class KeyHashMemo:
+    """Machine-wide memo of whole-column join-key hash arrays.
+
+    The vectorized data plane hashes a scan source's entire key column
+    at once; this memo ensures the same column is never hashed twice
+    with the same (key, level, family) across build/probe/partition
+    phases.  Entries are keyed by the identity of the row container
+    (plus key index, hash level and family) and hold a strong reference
+    to the container, so an ``id()`` is never reused while its entry is
+    alive.  Purely an evaluation cache: a hit returns exactly what
+    recomputation would, so simulated outcomes cannot depend on cache
+    state.  ``hits`` also counts columns satisfied from hash codes
+    stored alongside temp files (the bucket-forming → bucket-joining
+    reuse); ``misses`` counts columns actually hashed.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int, int, str],
+                            tuple[object, object, list]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, rows: object, key_index: int, level: int,
+               family: str) -> tuple[object, list] | None:
+        """The memoized (hash_array, hash_ints) pair, or None."""
+        entry = self._entries.get((id(rows), key_index, level, family))
+        if entry is not None and entry[0] is rows:
+            self.hits += 1
+            return entry[1], entry[2]
+        return None
+
+    def store(self, rows: object, key_index: int, level: int,
+              family: str, hash_array: object, hash_ints: list,
+              computed: bool = True) -> None:
+        """Record a resolved column (``computed=False`` marks a reuse
+        of persisted hashes, counted as a hit)."""
+        if computed:
+            self.misses += 1
+        else:
+            self.hits += 1
+        self._entries[(id(rows), key_index, level, family)] = (
+            rows, hash_array, hash_ints)
+
+
 def remix(hash_code: int) -> int:
     """A second, independent scrambling of an existing hash code.
 

@@ -26,12 +26,12 @@ class DataPacket:
     """A batch of tuples from one producer to one consumer."""
 
     src_node: int
-    rows: tuple
+    rows: typing.Sequence[Row]
     payload_bytes: int
     #: Pre-computed hash codes aligned with ``rows`` — Gamma computes
     #: the hash once at the producer; consumers reuse it for hash-table
     #: slotting, so the simulation does too.
-    hashes: tuple
+    hashes: typing.Sequence[int]
     #: Logical bucket this batch belongs to (Grace/Hybrid bucket
     #: forming), or None for single-stream traffic.
     bucket: int | None = None
@@ -43,6 +43,27 @@ class DataPacket:
                 f"{len(self.hashes)}")
         if not self.rows:
             raise ValueError("empty data packet")
+
+    @classmethod
+    def make(cls, src_node: int, rows: typing.Sequence,
+             hashes: typing.Sequence, payload_bytes: int,
+             bucket: int | None) -> "DataPacket":
+        """Construct a packet that is valid by construction.
+
+        Routers only ever emit non-empty, length-aligned batches, so
+        the frozen ``__init__``'s per-field ``object.__setattr__``
+        round trip and the ``__post_init__`` re-validation are skipped
+        — this sits on the per-packet hot path.  ``rows``/``hashes``
+        may be any sequence (the router hands over its buffer lists
+        without copying); consumers only ever iterate them.
+        """
+        packet = cls.__new__(cls)
+        # Filling the instance dict directly sidesteps the frozen
+        # __setattr__ guard (which would also reject this assignment).
+        packet.__dict__.update(
+            src_node=src_node, rows=rows, payload_bytes=payload_bytes,
+            hashes=hashes, bucket=bucket)
+        return packet
 
     def __len__(self) -> int:
         return len(self.rows)

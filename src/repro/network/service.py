@@ -103,8 +103,8 @@ class NetworkService:
         wire time, the receiver pays its own cost on dequeue.
         """
         local = src_node == dst_node
-        is_data = isinstance(message, DataPacket)
-        if is_data:
+        mtype = type(message)
+        if mtype is DataPacket:
             self.stats.data_packets += 1
             self.stats.data_tuples += len(message.rows)
             self.stats.data_bytes += message.payload_bytes
@@ -119,7 +119,7 @@ class NetworkService:
             payload = getattr(message, "payload_bytes", 64)
         send_cost = (self.costs.packet_shortcircuit if local
                      else self.costs.packet_protocol_send)
-        if isinstance(message, ControlMessage):
+        if mtype is ControlMessage:
             send_cost += self.costs.control_message
         yield from self._cpu(src_node).use(send_cost)
         if not local:
@@ -155,21 +155,30 @@ class NetworkService:
         "extra rise" in Figures 5/6 and the Table 4 anomaly at seven
         buckets.
         """
-        packets = max(1, -(-payload_bytes // self.costs.packet_size))
+        costs = self.costs
+        packet_size = costs.packet_size
+        packets = max(1, -(-payload_bytes // packet_size))
         local = src_node == dst_node
+        # Per-fragment charges are loop-invariant; hoist the cost-model
+        # and CPU-resource lookups out of the fragment loop.
+        if local:
+            send_cost = costs.packet_shortcircuit + costs.control_message
+            receive_cost = costs.packet_shortcircuit
+        else:
+            send_cost = costs.packet_protocol_send + costs.control_message
+            receive_cost = costs.packet_protocol_receive
+        src_use = self._cpu(src_node).use
+        dst_use = self._cpu(dst_node).use
+        stats = self.stats
+        ring_transmit = self.ring.transmit
         remaining = payload_bytes
         for _fragment in range(packets):
-            self.stats.control_messages += 1
+            stats.control_messages += 1
             if local:
-                self.stats.control_messages_shortcircuited += 1
-            send_cost = (self.costs.packet_shortcircuit if local
-                         else self.costs.packet_protocol_send)
-            yield from self._cpu(src_node).use(
-                send_cost + self.costs.control_message)
+                stats.control_messages_shortcircuited += 1
+            yield from src_use(send_cost)
             if not local:
-                yield from self.ring.transmit(
-                    max(1, min(remaining, self.costs.packet_size)))
-            receive_cost = (self.costs.packet_shortcircuit if local
-                            else self.costs.packet_protocol_receive)
-            yield from self._cpu(dst_node).use(receive_cost)
-            remaining -= self.costs.packet_size
+                yield from ring_transmit(
+                    max(1, min(remaining, packet_size)))
+            yield from dst_use(receive_cost)
+            remaining -= packet_size

@@ -281,20 +281,24 @@ class Simulator:
                 # advance the clock past the bound.
                 if urgent:
                     event = urgent_popleft()
+                    # Grant-and-hold events only ever travel the urgent
+                    # lane (use() appends there; the re-key below clears
+                    # _hold before the heap push), so heap pops skip
+                    # the hold check.
+                    hold = event._hold
+                    if hold is not None:
+                        event._hold = None
+                        self._sequence += 1
+                        heappush(heap, (self.now + hold, PRIORITY_NORMAL,
+                                        self._sequence, event))
+                        holds += 1
+                        continue
                 else:
                     if heap[0][0] > until:
                         self.now = until
                         return
                     when, _priority, _seq, event = heappop(heap)
                     self.now = when
-                hold = event._hold
-                if hold is not None:
-                    event._hold = None
-                    self._sequence += 1
-                    heappush(heap, (self.now + hold, PRIORITY_NORMAL,
-                                    self._sequence, event))
-                    holds += 1
-                    continue
                 event._fired = True
                 callbacks = event.callbacks
                 if callbacks:
@@ -318,14 +322,6 @@ class Simulator:
                 elif heap:
                     when, _priority, _seq, event = heappop(heap)
                     self.now = when
-                    hold = event._hold
-                    if hold is not None:
-                        event._hold = None
-                        self._sequence += 1
-                        heappush(heap, (when + hold, PRIORITY_NORMAL,
-                                        self._sequence, event))
-                        holds += 1
-                        continue
                 else:
                     break
                 event._fired = True

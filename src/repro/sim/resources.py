@@ -61,6 +61,9 @@ class Resource:
         self.busy_time = 0.0
         self._last_change = 0.0
         self.total_acquisitions = 0
+        #: Pre-bound hold-release callback — ``use`` runs ~300k times
+        #: per sweep point, so the bound-method allocation is hoisted.
+        self._release_cb = self._release_after_hold
 
     # -- acquisition -----------------------------------------------------
 
@@ -123,10 +126,9 @@ class Resource:
         event = Event.__new__(Event)
         event.sim = sim
         sim._event_serial = event._serial = sim._event_serial + 1
-        event.callbacks = [self._release_after_hold]
+        event.callbacks = [self._release_cb]
         event._value = None
         event._ok = True
-        event._triggered = False
         event._fired = False
         event._hold = duration
         # Busy time is credited as the hold duration up front: every
@@ -143,15 +145,23 @@ class Resource:
             # events go to the FIFO deque, never the heap).
             sim._urgent.append(event)
         else:
+            event._triggered = False
             self._waiting.append((event, None))
         return (event,)
 
     def _release_after_hold(self, _event: Event) -> None:
-        """Inline release (no Grant token) when a hold event fires."""
+        """Inline release (no Grant token) when a hold event fires.
+
+        Only ever registered from :meth:`use`'s fast path, so the
+        urgent-lane append can be inlined unconditionally (an URGENT
+        delay-0 succeed is exactly this when ``sim.fastpath`` is on).
+        """
         if self._waiting:
             waiter, next_grant = self._waiting.popleft()
             self.total_acquisitions += 1
-            waiter.succeed(next_grant, priority=PRIORITY_URGENT)
+            waiter._triggered = True
+            waiter._value = next_grant
+            self.sim._urgent.append(waiter)
         else:
             self._in_use -= 1
 
@@ -210,17 +220,48 @@ class Store:
         if self._getters:
             getter = self._getters.popleft()
             self.total_gets += 1
-            getter.succeed(item, priority=PRIORITY_URGENT)
+            sim = self.sim
+            if sim.fastpath:
+                # Inlined succeed() for the urgent lane (delay-0
+                # URGENT events go to the FIFO deque, never the heap)
+                # — one of the kernel's hottest schedule sites.
+                getter._triggered = True
+                getter._value = item
+                sim._urgent.append(getter)
+            else:
+                getter.succeed(item, priority=PRIORITY_URGENT)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         """An event that fires with the next item."""
-        event = Event(self.sim)
+        sim = self.sim
+        if not sim.fastpath:
+            event = Event(sim)
+            if self._items:
+                self.total_gets += 1
+                event.succeed(self._items.popleft(),
+                              priority=PRIORITY_URGENT)
+            else:
+                self._getters.append(event)
+            return event
+        # Inlined Event(sim) + urgent-lane succeed (one mailbox get per
+        # delivered message makes this a kernel-rate allocation site).
+        event = Event.__new__(Event)
+        event.sim = sim
+        sim._event_serial = event._serial = sim._event_serial + 1
+        event.callbacks = []
+        event._ok = True
+        event._fired = False
+        event._hold = None
         if self._items:
             self.total_gets += 1
-            event.succeed(self._items.popleft(), priority=PRIORITY_URGENT)
+            event._triggered = True
+            event._value = self._items.popleft()
+            sim._urgent.append(event)
         else:
+            event._triggered = False
+            event._value = None
             self._getters.append(event)
         return event
 

@@ -33,7 +33,9 @@ class PagedFile:
         Disk page size in bytes (8 KB in all the paper's experiments).
     """
 
-    def __init__(self, name: str, tuple_bytes: int, page_size: int) -> None:
+    def __init__(self, name: str, tuple_bytes: int, page_size: int,
+                 hash_tag: typing.Optional[typing.Tuple[int, str]] = None,
+                 ) -> None:
         if tuple_bytes <= 0:
             raise ValueError(f"tuple_bytes must be positive: {tuple_bytes}")
         if page_size <= 0:
@@ -45,6 +47,13 @@ class PagedFile:
         self.rows: list[Row] = []
         self._pages_flushed = 0
         self.closed = False
+        # Optional sidecar of join-key hash codes, tagged with the
+        # (hash level, hash family) they were computed under.  Bucket
+        # files written during Grace/Hybrid bucket forming carry their
+        # level-0 hashes so bucket joining never rehashes the column.
+        self.hash_tag = hash_tag
+        self.hashes: typing.Optional[list[int]] = (
+            [] if hash_tag is not None else None)
 
     # -- writing ---------------------------------------------------------
 
@@ -57,22 +66,46 @@ class PagedFile:
         if self.closed:
             raise RuntimeError(f"append to closed file {self.name!r}")
         self.rows.append(row)
+        self.hashes = None  # scalar appends carry no hash sidecar
         if len(self.rows) % self.tuples_per_page == 0:
             self._pages_flushed += 1
             return True
         return False
 
-    def extend(self, rows: typing.Iterable[Row]) -> int:
-        """Append many tuples; returns the number of pages completed."""
+    def extend(self, rows: typing.Iterable[Row],
+               hashes: typing.Optional[typing.Sequence[int]] = None) -> int:
+        """Append many tuples; returns the number of pages completed.
+
+        ``hashes``, when given, is the parallel list of join-key hash
+        codes for ``rows``; it is retained only when this file was
+        created with a ``hash_tag``.  Any batch arriving without hashes
+        voids the sidecar (all-or-nothing: a partial sidecar could not
+        be reused).
+        """
         if self.closed:
             raise RuntimeError(f"append to closed file {self.name!r}")
         mine = self.rows
         before = len(mine)
         mine.extend(rows)
+        if self.hashes is not None:
+            if hashes is None:
+                self.hashes = None
+            else:
+                self.hashes.extend(hashes)
         per_page = self.tuples_per_page
         completed = len(mine) // per_page - before // per_page
         self._pages_flushed += completed
         return completed
+
+    def stored_hashes(self, level: int,
+                      family: str) -> typing.Optional[list[int]]:
+        """The complete hash sidecar, iff computed under (level, family)
+        and covering every stored row; otherwise None."""
+        if (self.hash_tag == (level, family)
+                and self.hashes is not None
+                and len(self.hashes) == len(self.rows)):
+            return self.hashes
+        return None
 
     def close(self) -> int:
         """Finish writing.

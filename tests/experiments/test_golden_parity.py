@@ -15,6 +15,12 @@ implementation produced.  Two independent anchors enforce that:
 Both are checked with the fast paths on (default) and off
 (``REPRO_FASTPATH=0``, the classic request→grant→timeout→release
 kernel), so the switch itself is also covered.
+
+The vectorized page-batch data plane (``REPRO_VECTOR`` — see
+``repro.core.kernels``) makes the same bit-parity promise, so the
+figure-5/7 scenarios run the full REPRO_VECTOR × REPRO_FASTPATH
+matrix against the same goldens (figure14, the slowest sweep, is
+bounded to the vector × both-fastpath pairs).
 """
 
 from __future__ import annotations
@@ -31,24 +37,32 @@ from repro.experiments.config import ExperimentConfig
 RESULTS = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
 CONFIG = ExperimentConfig(scale=0.1, seed=1)
 
-#: (figure, REPRO_FASTPATH) combinations under test.  The classic mode
-#: is the seed code path; figure14 (the slowest sweep — 36 remote
-#: points) is exercised in fast-path mode only.
+#: (figure, REPRO_FASTPATH, REPRO_VECTOR) combinations under test.
+#: (0, 0) is the seed code path; figures 5 and 7 cover the full
+#: fastpath × vector matrix; figure14 (the slowest sweep — 36 remote
+#: points) is bounded to the vector-plane pairs.
 SCENARIOS = [
-    ("figure5", "1"),
-    ("figure5", "0"),
-    ("figure7", "1"),
-    ("figure7", "0"),
-    ("figure14", "1"),
+    ("figure5", "1", "1"),
+    ("figure5", "0", "1"),
+    ("figure5", "1", "0"),
+    ("figure5", "0", "0"),
+    ("figure7", "1", "1"),
+    ("figure7", "0", "1"),
+    ("figure7", "1", "0"),
+    ("figure7", "0", "0"),
+    ("figure14", "1", "1"),
+    ("figure14", "0", "1"),
 ]
 
 _CACHE: dict = {}
 
 
-def sweep(name: str, fastpath: str, monkeypatch) -> figures.Figure:
-    key = (name, fastpath)
+def sweep(name: str, fastpath: str, vector: str,
+          monkeypatch) -> figures.Figure:
+    key = (name, fastpath, vector)
     if key not in _CACHE:
         monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+        monkeypatch.setenv("REPRO_VECTOR", vector)
         _CACHE[key] = getattr(figures, name)(CONFIG)
     return _CACHE[key]
 
@@ -59,9 +73,10 @@ def golden() -> dict:
         return json.load(fh)["figures"]
 
 
-@pytest.mark.parametrize("name,fastpath", SCENARIOS)
-def test_bit_identical_to_golden(name, fastpath, golden, monkeypatch):
-    figure = sweep(name, fastpath, monkeypatch)
+@pytest.mark.parametrize("name,fastpath,vector", SCENARIOS)
+def test_bit_identical_to_golden(name, fastpath, vector, golden,
+                                 monkeypatch):
+    figure = sweep(name, fastpath, vector, monkeypatch)
     expected = golden[name]
     assert {s.label for s in figure.series} == set(expected)
     for series in figure.series:
@@ -70,7 +85,7 @@ def test_bit_identical_to_golden(name, fastpath, golden, monkeypatch):
         for point in series.points:
             assert repr(point.response_time) == want[repr(point.x)], (
                 f"{name}/{series.label} diverged at x={point.x} "
-                f"(REPRO_FASTPATH={fastpath})")
+                f"(REPRO_FASTPATH={fastpath}, REPRO_VECTOR={vector})")
 
 
 def _parse_rendered(path: pathlib.Path) -> dict[str, list[float]]:
@@ -96,10 +111,10 @@ def _parse_rendered(path: pathlib.Path) -> dict[str, list[float]]:
     return rows
 
 
-@pytest.mark.parametrize("name,fastpath",
+@pytest.mark.parametrize("name,fastpath,vector",
                          [s for s in SCENARIOS if s[0] != "figure14"])
-def test_matches_rendered_report(name, fastpath, monkeypatch):
-    figure = sweep(name, fastpath, monkeypatch)
+def test_matches_rendered_report(name, fastpath, vector, monkeypatch):
+    figure = sweep(name, fastpath, vector, monkeypatch)
     stored = _parse_rendered(RESULTS / f"{name}.txt")
     for series in figure.series:
         row = stored[series.label]
