@@ -35,6 +35,7 @@ from repro.engine.operators.writers import WriterStats, tempfile_writer
 from repro.engine.scheduler import Scheduler
 from repro.network.service import NetworkStats
 from repro.storage.files import PagedFile
+from repro.verify import ConformanceError
 
 Row = typing.Tuple
 
@@ -266,6 +267,9 @@ class JoinDriver:
                       self.costs.page_size)
             for node in self.disk_nodes]
         self._ran = False
+        self.monitor = machine.monitor
+        if self.monitor is not None:
+            self.monitor.note_driver(self)
 
     # -- public API ---------------------------------------------------------
 
@@ -279,7 +283,8 @@ class JoinDriver:
             # recursion limit) surface as themselves; genuine model
             # bugs keep the crash wrapper.
             if isinstance(crash.cause, (JoinConfigError,
-                                        JoinOverflowError)):
+                                        JoinOverflowError,
+                                        ConformanceError)):
                 raise crash.cause from None
             raise
         return self.collect()
@@ -311,7 +316,7 @@ class JoinDriver:
             raise JoinConfigError(
                 "join has not finished; run the machine to completion "
                 "before collecting")
-        return JoinResult(
+        result = JoinResult(
             algorithm=self.algorithm,
             spec=self.spec,
             response_time=self._finished_at - self._started_at,
@@ -331,6 +336,9 @@ class JoinDriver:
             counters=dict(self.counters),
             cpu_utilisation=self.machine.cpu_utilisations(),
         )
+        if self.monitor is not None:
+            self.monitor.check_join(self, result)
+        return result
 
     # -- subclass contract -----------------------------------------------------
 
@@ -419,11 +427,14 @@ class JoinDriver:
 
     def _finish_result_files(self) -> typing.Generator:
         """Close the result relation: flush each node's partial page."""
+        mon = self.monitor
         for node, file in zip(self.disk_nodes, self._result_files):
             trailing = file.close()
             if trailing:
                 yield from node.require_disk().write_pages(
                     trailing, sequential=True)
+                if mon is not None:
+                    mon.note_page_writes(node.node_id, trailing)
 
     def collect_site_state(self, payload_bytes_per_site: int,
                            broadcast_nodes: typing.Sequence[Node],

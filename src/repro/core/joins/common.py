@@ -168,6 +168,12 @@ class HashJoinRound:
             FilterBank.sized_for(len(self.sites), self.costs)
             if driver.filter_policy.active else None)
         self.joining_table = SplitTable.joining(self.sites)
+        monitor = self.machine.monitor
+        if monitor is not None:
+            monitor.check_split_table(
+                self.joining_table,
+                expected_nodes=[site.node_id for site in self.sites],
+                phase=label, num_buckets=1)
         # Overflow files: R'_j / S'_j for join site j live on the
         # disk node the driver's allocator assigns (§3.2; own drive
         # for local sites, unaligned round-robin for diskless ones).
@@ -325,6 +331,7 @@ class HashJoinRound:
                                            tuple_build)
         else:
             batch_cpu = constant_page_cost(receive_update, tuple_build)
+        mon = machine.monitor
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
@@ -334,6 +341,8 @@ class HashJoinRound:
                 eos_remaining -= 1
                 continue
             assert type(message) is DataPacket, message
+            if mon is not None:
+                mon.note_received(len(message.rows))
             if (vector and table.cutoff is None
                     and table.count + len(message.rows) <= table.capacity):
                 dataplane.packets_batched += 1
@@ -533,6 +542,7 @@ class HashJoinRound:
         cpu_res_use = node.cpu.use
         sc_cost = costs.packet_shortcircuit
         recv_cost = costs.packet_protocol_receive
+        mon = machine.monitor
         eos_remaining = n_producers
         while eos_remaining > 0:
             message = yield mailbox.get()
@@ -542,6 +552,8 @@ class HashJoinRound:
                 eos_remaining -= 1
                 continue
             assert type(message) is DataPacket, message
+            if mon is not None:
+                mon.note_received(len(message.rows))
             if vector:
                 dataplane.packets_batched += 1
                 cpu = probe_page(message.rows, message.hashes,

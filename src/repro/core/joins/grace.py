@@ -64,6 +64,11 @@ class GraceHashJoin(JoinDriver):
                       plan.num_buckets - plan.before_analyzer)
         table = SplitTable.grace_partitioning(plan.num_buckets,
                                               self.disk_nodes)
+        if self.monitor is not None:
+            self.monitor.check_split_table(
+                table,
+                expected_nodes=[n.node_id for n in self.disk_nodes],
+                phase="grace.form", num_buckets=plan.num_buckets)
 
         forming_bank: FilterBank | None = None
         if self.filter_policy is BitFilterPolicy.WITH_BUCKET_FORMING:

@@ -65,6 +65,15 @@ class HybridHashJoin(JoinDriver):
         num_buckets = plan.num_buckets
         table = SplitTable.hybrid_partitioning(
             num_buckets, self.join_sites, self.disk_nodes)
+        if self.monitor is not None:
+            self.monitor.check_split_table(
+                table,
+                expected_nodes=(
+                    [n.node_id for n in self.join_sites]
+                    + [n.node_id for n in self.disk_nodes]
+                    if num_buckets > 1
+                    else [n.node_id for n in self.join_sites]),
+                phase="hybrid.form", num_buckets=num_buckets)
 
         forming_bank: FilterBank | None = None
         if (self.filter_policy is BitFilterPolicy.WITH_BUCKET_FORMING

@@ -294,6 +294,11 @@ class SortMergeJoin(JoinDriver):
             yield from disk.read_pages(plan.input_pages, sequential=True)
             yield from node.cpu_use(merge_cpu)
             yield from disk.write_pages(plan.input_pages, sequential=True)
+        mon = self.monitor
+        if mon is not None:
+            io_pages = plan.input_pages * (1 + plan.merge_passes)
+            mon.note_page_reads(node.node_id, io_pages)
+            mon.note_page_writes(node.node_id, io_pages)
         out[index] = sort_rows(file.rows, key_index)
 
     # ------------------------------------------------------------------
@@ -336,6 +341,7 @@ class SortMergeJoin(JoinDriver):
         r_max = r_rows[-1][r_key] if r_rows else None
         r_index = 0
         r_pages_read = 0
+        s_pages_read = 0
         s_consumed = 0
         stopped_early = False
 
@@ -344,6 +350,7 @@ class SortMergeJoin(JoinDriver):
                 break
             s_page = s_rows[s_start:s_start + s_tpp]
             yield from disk.read_pages(1, sequential=True)
+            s_pages_read += 1
             cpu = 0.0
             for s_row in s_page:
                 s_consumed += 1
@@ -387,4 +394,7 @@ class SortMergeJoin(JoinDriver):
         if total_r_pages > r_pages_read:
             self.bump("merge_inner_pages_skipped",
                       total_r_pages - r_pages_read)
+        mon = self.monitor
+        if mon is not None:
+            mon.note_page_reads(node.node_id, s_pages_read + r_pages_read)
         yield from store_router.close()

@@ -127,6 +127,11 @@ class SplitTable:
 
     # -- analysis helpers (used by tests and the bucket analyzer) -----------
 
+    def destination_node_ids(self) -> tuple[int, ...]:
+        """Entry-order destination node ids (conformance checks and
+        property tests inspect the layout through this)."""
+        return tuple(entry.node.node_id for entry in self.entries)
+
     def num_buckets(self) -> int:
         return max(entry.bucket for entry in self.entries) + 1
 

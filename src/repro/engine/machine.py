@@ -73,6 +73,17 @@ class GammaMachine:
         self.dataplane = DataPlaneCounters()
         self.key_hash_memo = KeyHashMemo()
 
+        # Runtime conformance monitor (REPRO_VERIFY=1; None — and free —
+        # by default).  Lazy import: the monitor pulls in the reference
+        # join for result validation.
+        from repro.verify import verify_enabled
+        if verify_enabled():
+            from repro.verify.invariants import ConformanceMonitor
+            self.monitor: "ConformanceMonitor | None" = (
+                ConformanceMonitor(self))
+        else:
+            self.monitor = None
+
     # -- factories ---------------------------------------------------------
 
     @classmethod
@@ -134,6 +145,8 @@ class GammaMachine:
             raise RuntimeError(
                 f"query finished with undelivered messages: {leftovers} — "
                 "an operator exited without draining its mailbox")
+        if self.monitor is not None:
+            self.monitor.check_machine()
         return self.sim.now
 
     def disk_page_reads(self) -> int:

@@ -71,6 +71,9 @@ class Router:
         self._sc_cost = costs.packet_shortcircuit
         self._send_cost = costs.packet_protocol_send
         self._packet_size = costs.packet_size
+        monitor = machine.monitor
+        if monitor is not None:
+            monitor.register_router(self)
 
     # -- buffering (tuple rate, no simulation) -----------------------------
 

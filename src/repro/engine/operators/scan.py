@@ -128,12 +128,24 @@ def scan_pages(machine: "GammaMachine", node: Node,
 
     cpu_use = node.cpu_use
     disk = node.require_disk() if read_from_disk else None
+    mon = machine.monitor
+    if mon is not None:
+        routed_before = sum(r.tuples_routed for r in routers)
+        n_pages = 0
+        n_tuples = 0
     for page in pages:
         if disk is not None:
             yield from disk.read_pages(1, sequential=True)
+        if mon is not None:
+            n_pages += 1
+            n_tuples += len(page)
         yield from cpu_use(route_page(page))
         for router in routers:
             if router._ready:
                 yield from router.flush_ready()
     for router in routers:
         yield from router.close()
+    if mon is not None:
+        routed = sum(r.tuples_routed for r in routers) - routed_before
+        mon.note_scan(node.node_id, n_tuples, routed,
+                      n_pages if disk is not None else 0)

@@ -102,6 +102,7 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
     sc_cost = costs.packet_shortcircuit
     recv_cost = costs.packet_protocol_receive
     mailbox = machine.registry.mailbox(node.node_id, port)
+    mon = machine.monitor
     eos_remaining = n_producers
     while eos_remaining > 0:
         message = yield mailbox.get()
@@ -111,6 +112,8 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
             eos_remaining -= 1
             continue
         assert type(message) is DataPacket, message
+        if mon is not None:
+            mon.note_received(len(message.rows))
         if stats is not None:
             stats.tuples_received += len(message.rows)
             if message.src_node == node.node_id:
@@ -129,6 +132,8 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
             collect.extend(message.rows)
         if pages_completed:
             yield from disk.write_pages(pages_completed, sequential=True)
+            if mon is not None:
+                mon.note_page_writes(node_id, pages_completed)
             if stats is not None:
                 stats.pages_written += pages_completed
     trailing = 0
@@ -136,5 +141,7 @@ def tempfile_writer(machine: "GammaMachine", node: Node, port: str,
         trailing += file.close()
     if trailing:
         yield from disk.write_pages(trailing, sequential=True)
+        if mon is not None:
+            mon.note_page_writes(node_id, trailing)
         if stats is not None:
             stats.pages_written += trailing

@@ -152,6 +152,48 @@ def _audit_summary(outcome) -> str | None:
     return "\n".join(lines)
 
 
+def _verify_summary(outcome) -> str | None:
+    """Aggregate per-point conformance reports (``REPRO_VERIFY=1``).
+
+    One line of ledger totals, then the analytic-vs-simulated
+    per-phase agreement: every in-scope point's worst phase delta,
+    flagged when it escapes the documented tolerance band.
+    """
+    points = 0
+    checks: dict[str, int] = {}
+    in_scope = 0
+    out_of_band: list[str] = []
+    worst_rel = 0.0
+    for point in _iter_sweep_points(outcome):
+        if point.verify is None:
+            continue
+        points += 1
+        for name in point.verify["invariants"]["checks_passed"]:
+            checks[name] = checks.get(name, 0) + 1
+        analytic = point.verify.get("analytic")
+        if analytic is None:
+            continue
+        in_scope += 1
+        for row in analytic["phases"]:
+            rel = abs(row.get("relative") or 0.0)
+            worst_rel = max(worst_rel, rel)
+            if not row["within"]:
+                out_of_band.append(
+                    f"  OUT-OF-BAND {analytic['algorithm']} "
+                    f"{row['phase']}: simulated={row['simulated']:.3f}s "
+                    f"predicted={row['predicted']:.3f}s")
+    if not points:
+        return None
+    passed = "  ".join(f"{name}={count}"
+                       for name, count in sorted(checks.items()))
+    lines = [f"## conformance ({points} points): {passed}",
+             f"## analytic model: {in_scope} in-scope point(s), "
+             f"worst phase delta {worst_rel:.1%}, "
+             f"{len(out_of_band)} out-of-band"]
+    lines.extend(out_of_band)
+    return "\n".join(lines)
+
+
 def run_experiment(name: str, config: ExperimentConfig,
                    out_dir: pathlib.Path | None) -> None:
     entry = EXPERIMENTS[name]
@@ -171,6 +213,9 @@ def run_experiment(name: str, config: ExperimentConfig,
     audit = _audit_summary(outcome)
     if audit:
         text += "\n\n" + audit
+    conformance = _verify_summary(outcome)
+    if conformance:
+        text += "\n\n" + conformance
     if config.profile:
         summary = _kernel_summary(outcome)
         if summary:

@@ -38,6 +38,11 @@ class SweepPoint:
     #: (see repro.analysis.audit); picklable so ``--jobs`` workers can
     #: ship it home.
     audit_sites: dict | None = None
+    #: Conformance payload ({"invariants": monitor ledger,
+    #: "analytic": per-phase analytic-vs-simulated report or None}) —
+    #: collected whenever ``REPRO_VERIFY`` is on (see repro.verify);
+    #: plain data so ``--jobs`` workers can ship it home.
+    verify: dict | None = None
 
     def __iter__(self):
         return iter((self.x, self.response_time))
@@ -132,6 +137,11 @@ def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
         **spec_kwargs)
     if config.verify_results:
         assert_same_result(result.result_rows, db.expected_result_rows)
+    verify = None
+    if machine.monitor is not None:
+        from repro.verify.analytic import assess
+        verify = {"invariants": machine.monitor.summary(),
+                  "analytic": assess(machine, db, result)}
     return SweepPoint(x=memory_ratio,
                       response_time=result.response_time,
                       result=result if keep_result else None,
@@ -140,7 +150,8 @@ def run_sweep_point(config: ExperimentConfig, db: WisconsinDatabase,
                                        if config.profile else None),
                       audit_sites=(machine.sim.auditor.site_counts()
                                    if machine.sim.auditor is not None
-                                   else None))
+                                   else None),
+                      verify=verify)
 
 
 # ---------------------------------------------------------------------------

@@ -50,6 +50,12 @@ class TokenRing:
         """Fraction of elapsed time the ring has been busy."""
         return self.medium.utilisation()
 
+    def expected_busy_time(self) -> float:
+        """Busy time implied by the byte counter: every transmit holds
+        the medium for exactly ``payload / bandwidth`` seconds, so the
+        carried bytes pin the busy integral (conformance check)."""
+        return self.bytes_carried / self.costs.ring_bandwidth
+
     def reset_statistics(self) -> None:
         self.packets_carried = 0
         self.bytes_carried = 0

@@ -104,6 +104,11 @@ class Simulator:
             self.auditor: TieAuditor | None = TieAuditor.from_env()
         else:
             self.auditor = None
+        #: Conformance mode (``REPRO_VERIFY=1``): route run() through
+        #: the step()-based loop, whose per-pop clock guard catches any
+        #: event firing before the current simulated time.
+        from repro.verify import verify_enabled
+        self.verify: bool = verify_enabled()
         # -- diagnostics counters (satellite: kernel observability) ----
         #: Events whose callbacks have run.
         self.events_fired = 0
@@ -247,10 +252,11 @@ class Simulator:
             If any process terminates with an unhandled exception the
             error propagates out of ``run`` immediately (fail fast).
         """
-        if self.auditor is not None:
-            # The audited path pays for observability with the plain
-            # step() loop; simulated times are identical either way
-            # (the auditor only watches pops, it never reorders them).
+        if self.auditor is not None or self.verify:
+            # The audited/verified path pays for observability with the
+            # plain step() loop; simulated times are identical either
+            # way (the auditor only watches pops, it never reorders
+            # them, and step() checks the clock never moves backwards).
             self._run_audited(until)
             return
         # Inlined pop/fire cycle — semantically identical to calling

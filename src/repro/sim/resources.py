@@ -198,6 +198,20 @@ class Resource:
             return 0.0
         return self.busy_time / (horizon * self.capacity)
 
+    def conformance_snapshot(self) -> dict[str, typing.Any]:
+        """Introspection as plain data (the ``REPRO_VERIFY`` monitor
+        reads this after the event loop drains; valid any time, but the
+        fast path credits each hold's busy time at issue, so busy-time
+        comparisons only balance once no holds are in flight)."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "in_use": self._in_use,
+            "queue_length": len(self._waiting),
+            "busy_time": self.busy_time,
+            "acquisitions": self.total_acquisitions,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
                 f"queue={len(self._waiting)}>")
@@ -272,6 +286,18 @@ class Store:
     @property
     def waiting_getters(self) -> int:
         return len(self._getters)
+
+    def conformance_snapshot(self) -> dict[str, typing.Any]:
+        """Introspection as plain data (``REPRO_VERIFY`` drain checks:
+        a finished query must leave puts == gets, nothing pending and
+        no stranded getters)."""
+        return {
+            "name": self.name,
+            "total_puts": self.total_puts,
+            "total_gets": self.total_gets,
+            "pending_items": len(self._items),
+            "waiting_getters": len(self._getters),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Store {self.name!r} items={len(self._items)} "

@@ -1,0 +1,403 @@
+"""Runtime invariant checkers (the ``REPRO_VERIFY=1`` monitor).
+
+A :class:`ConformanceMonitor` is attached to a
+:class:`~repro.engine.machine.GammaMachine` at construction when the
+gate is open.  Operators feed it an *independent* ledger — tuples
+scanned and routed, packets and tuples received, pages read and
+written per node — through tiny ``monitor is not None`` hooks on the
+hot paths.  When the simulation drains, :meth:`check_machine`
+cross-checks the ledger against the engine's own counters, and
+:meth:`check_join` validates each driver's result against the
+unsimulated reference join.
+
+The invariants (names appear in :class:`ConformanceError` messages):
+
+``tuple-conservation``
+    Every tuple buffered into a router was transmitted
+    (sum of ``Router.tuples_routed`` == network ``data_tuples``), and
+    every transmitted tuple/packet was dequeued by a consumer.
+``scan-conservation``
+    Tuples scanned == tuples routed by the scan loops (strict only
+    when no selection predicate and no bit-filter policy can drop
+    tuples).
+``mailbox-drain``
+    Every mailbox ends empty: puts == gets, no pending items, no
+    stranded getters.
+``page-accounting``
+    Per node, the disk's page counters match the operators' ledger,
+    and the arm's busy time equals the per-kind page counts times the
+    calibrated transfer times.
+``network-conservation``
+    Ring bytes carried imply exactly the medium's busy time
+    (``bytes / bandwidth``), and bytes never exceed capacity x busy.
+``resource-sanity``
+    Post-drain, every resource is idle with an empty queue and its
+    busy time fits inside ``makespan x capacity``.
+``split-table``
+    A split table routes only to its operator set and starves no join
+    site; bucket labels stay in range.
+``join-result``
+    Join output cardinality (and, when collected, the exact result
+    multiset) equals the reference join; phase timings are sane.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.verify import ConformanceError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.joins.base import JoinDriver, JoinResult
+    from repro.core.split_table import SplitTable
+    from repro.engine.machine import GammaMachine
+    from repro.engine.operators.routing import Router
+    from repro.sim.resources import Resource
+
+#: Relative tolerance for float ledger comparisons.  Ledgers are sums
+#: of the same quantities accumulated in a different order, so they
+#: agree to rounding error only.
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+class ConformanceMonitor:
+    """Independent ledgers + cross-checks for one machine."""
+
+    def __init__(self, machine: "GammaMachine") -> None:
+        self.machine = machine
+        self.routers: list["Router"] = []
+        self.drivers: list["JoinDriver"] = []
+        #: True once any driver may legitimately drop scanned tuples
+        #: (selection predicates, bit-filter elimination) — the strict
+        #: scanned == routed equality is skipped then.
+        self.scan_may_drop = False
+        self.tuples_scanned = 0
+        self.tuples_scan_routed = 0
+        self.packets_received = 0
+        self.tuples_received = 0
+        self.expected_page_reads: dict[int, int] = {}
+        self.expected_page_writes: dict[int, int] = {}
+        #: Names of invariants that were checked and held.
+        self.checks_passed: list[str] = []
+        self.split_tables_checked = 0
+
+    # -- hooks (called from the operators) --------------------------------
+
+    def register_router(self, router: "Router") -> None:
+        self.routers.append(router)
+
+    def note_driver(self, driver: "JoinDriver") -> None:
+        self.drivers.append(driver)
+        spec = driver.spec
+        if (spec.inner_predicate is not None
+                or spec.outer_predicate is not None
+                or driver.filter_policy.active):
+            self.scan_may_drop = True
+
+    def note_scan(self, node_id: int, tuples: int, routed: int,
+                  pages_read: int) -> None:
+        """One finished ``scan_pages`` call: tuples seen, tuples the
+        call's routers accepted, and pages it read from disk."""
+        self.tuples_scanned += tuples
+        self.tuples_scan_routed += routed
+        if pages_read:
+            self.expected_page_reads[node_id] = (
+                self.expected_page_reads.get(node_id, 0) + pages_read)
+
+    def note_received(self, n_tuples: int) -> None:
+        """One DataPacket dequeued by a consuming operator."""
+        self.packets_received += 1
+        self.tuples_received += n_tuples
+
+    def note_page_reads(self, node_id: int, pages: int) -> None:
+        self.expected_page_reads[node_id] = (
+            self.expected_page_reads.get(node_id, 0) + pages)
+
+    def note_page_writes(self, node_id: int, pages: int) -> None:
+        self.expected_page_writes[node_id] = (
+            self.expected_page_writes.get(node_id, 0) + pages)
+
+    # -- split-table validation --------------------------------------------
+
+    def check_split_table(self, table: "SplitTable",
+                          expected_nodes: typing.Sequence[int],
+                          phase: str | None = None,
+                          num_buckets: int | None = None) -> None:
+        """A split table must route only to its operator set, starve
+        none of them, and keep bucket labels in range."""
+        self.split_tables_checked += 1
+        entry_nodes = table.destination_node_ids()
+        expected = set(expected_nodes)
+        strays = sorted(set(entry_nodes) - expected)
+        if strays:
+            raise ConformanceError(
+                "split table routes tuples to nodes outside the "
+                "operator set",
+                invariant="split-table", phase=phase,
+                deltas={"stray_nodes": strays,
+                        "expected_nodes": sorted(expected)})
+        starved = sorted(expected - set(entry_nodes))
+        if starved:
+            raise ConformanceError(
+                "split table starves operator nodes (no entry routes "
+                "to them)",
+                invariant="split-table", phase=phase,
+                deltas={"starved_nodes": starved,
+                        "entry_nodes": list(entry_nodes)})
+        if num_buckets is not None:
+            bad = sorted({entry.bucket for entry in table.entries
+                          if not 0 <= entry.bucket < num_buckets})
+            if bad:
+                raise ConformanceError(
+                    "split table carries out-of-range bucket labels",
+                    invariant="split-table", phase=phase,
+                    deltas={"bad_buckets": bad,
+                            "num_buckets": num_buckets})
+
+    # -- machine-wide checks (post-drain) -----------------------------------
+
+    def check_machine(self) -> None:
+        """Cross-check every ledger once the event loop has drained."""
+        self._check_tuple_conservation()
+        self._check_scan_conservation()
+        self._check_mailboxes()
+        self._check_pages()
+        self._check_network()
+        self._check_resources()
+
+    def _passed(self, name: str) -> None:
+        self.checks_passed.append(name)
+
+    def _check_tuple_conservation(self) -> None:
+        stats = self.machine.network.stats
+        routed = sum(router.tuples_routed for router in self.routers)
+        if routed != stats.data_tuples:
+            raise ConformanceError(
+                "tuples buffered into routers != data tuples "
+                "transmitted (a router dropped or duplicated tuples)",
+                invariant="tuple-conservation",
+                deltas={"tuples_routed": routed,
+                        "data_tuples_sent": stats.data_tuples})
+        if self.tuples_received != stats.data_tuples:
+            raise ConformanceError(
+                "data tuples transmitted != tuples dequeued by "
+                "consumers",
+                invariant="tuple-conservation",
+                deltas={"data_tuples_sent": stats.data_tuples,
+                        "tuples_received": self.tuples_received})
+        if self.packets_received != stats.data_packets:
+            raise ConformanceError(
+                "data packets transmitted != packets dequeued by "
+                "consumers",
+                invariant="tuple-conservation",
+                deltas={"data_packets_sent": stats.data_packets,
+                        "packets_received": self.packets_received})
+        unflushed = [router.port for router in self.routers
+                     if not router.closed]
+        if unflushed:
+            raise ConformanceError(
+                "routers left open at end of run (partial packets may "
+                "be stranded)",
+                invariant="tuple-conservation",
+                deltas={"open_ports": unflushed[:8]})
+        self._passed("tuple-conservation")
+
+    def _check_scan_conservation(self) -> None:
+        if self.scan_may_drop:
+            return
+        if self.tuples_scanned != self.tuples_scan_routed:
+            raise ConformanceError(
+                "tuples scanned != tuples routed with no predicate or "
+                "filter that could drop them",
+                invariant="scan-conservation",
+                deltas={"tuples_scanned": self.tuples_scanned,
+                        "tuples_routed": self.tuples_scan_routed})
+        self._passed("scan-conservation")
+
+    def _check_mailboxes(self) -> None:
+        for address, box in self.machine.registry._mailboxes.items():
+            deltas = box.conformance_snapshot()
+            if box.pending_items or box.total_puts != box.total_gets:
+                raise ConformanceError(
+                    f"mailbox {address!r} did not drain",
+                    invariant="mailbox-drain", node=address[0],
+                    deltas=deltas)
+            if box.waiting_getters:
+                raise ConformanceError(
+                    f"mailbox {address!r} has stranded getters",
+                    invariant="mailbox-drain", node=address[0],
+                    deltas=deltas)
+        self._passed("mailbox-drain")
+
+    def _check_pages(self) -> None:
+        costs = self.machine.costs
+        for node in self.machine.disk_nodes:
+            disk = node.disk
+            if disk is None:  # pragma: no cover - disk_nodes have disks
+                continue
+            expected_reads = self.expected_page_reads.get(node.node_id, 0)
+            expected_writes = self.expected_page_writes.get(node.node_id, 0)
+            deltas = {
+                "pages_read": disk.pages_read,
+                "expected_reads": expected_reads,
+                "pages_written": disk.pages_written,
+                "expected_writes": expected_writes,
+            }
+            if disk.pages_read != expected_reads:
+                raise ConformanceError(
+                    "disk read counter disagrees with the operators' "
+                    "page ledger",
+                    invariant="page-accounting", node=node.name,
+                    deltas=deltas)
+            if disk.pages_written != expected_writes:
+                raise ConformanceError(
+                    "disk write counter disagrees with the operators' "
+                    "page ledger",
+                    invariant="page-accounting", node=node.name,
+                    deltas=deltas)
+            if (disk.sequential_reads + disk.random_reads
+                    != disk.pages_read
+                    or disk.sequential_writes + disk.random_writes
+                    != disk.pages_written):
+                raise ConformanceError(
+                    "disk sequential/random split does not sum to the "
+                    "page totals",
+                    invariant="page-accounting", node=node.name,
+                    deltas={"sequential_reads": disk.sequential_reads,
+                            "random_reads": disk.random_reads,
+                            "sequential_writes": disk.sequential_writes,
+                            "random_writes": disk.random_writes,
+                            **deltas})
+            expected_busy = (
+                disk.sequential_reads * costs.disk_page_read_sequential
+                + disk.random_reads * costs.disk_page_read_random
+                + disk.sequential_writes * costs.disk_page_write_sequential
+                + disk.random_writes * costs.disk_page_write_random)
+            if not math.isclose(disk.arm.busy_time, expected_busy,
+                                rel_tol=REL_TOL, abs_tol=ABS_TOL):
+                raise ConformanceError(
+                    "disk arm busy time disagrees with page counts x "
+                    "calibrated transfer times",
+                    invariant="page-accounting", node=node.name,
+                    deltas={"arm_busy_time": disk.arm.busy_time,
+                            "expected_busy_time": expected_busy})
+        self._passed("page-accounting")
+
+    def _check_network(self) -> None:
+        ring = self.machine.ring
+        expected_busy = ring.expected_busy_time()
+        busy = ring.medium.busy_time
+        if not math.isclose(busy, expected_busy,
+                            rel_tol=1e-6, abs_tol=ABS_TOL):
+            raise ConformanceError(
+                "ring busy time disagrees with bytes carried / "
+                "bandwidth",
+                invariant="network-conservation", node="token-ring",
+                deltas={"medium_busy_time": busy,
+                        "expected_busy_time": expected_busy,
+                        "bytes_carried": ring.bytes_carried})
+        capacity_bytes = ring.costs.ring_bandwidth * busy
+        if ring.bytes_carried > capacity_bytes * (1 + 1e-6) + 1:
+            raise ConformanceError(
+                "ring carried more bytes than capacity x busy time",
+                invariant="network-conservation", node="token-ring",
+                deltas={"bytes_carried": ring.bytes_carried,
+                        "capacity_bytes": capacity_bytes})
+        self._passed("network-conservation")
+
+    def _check_resources(self) -> None:
+        makespan = self.machine.sim.now
+        resources: list["Resource"] = [node.cpu
+                                       for node in self.machine.nodes]
+        resources.extend(node.disk.arm for node in self.machine.disk_nodes
+                         if node.disk is not None)
+        resources.append(self.machine.ring.medium)
+        for resource in resources:
+            snap = resource.conformance_snapshot()
+            if snap["in_use"] or snap["queue_length"]:
+                raise ConformanceError(
+                    "resource still held or queued after the event "
+                    "loop drained",
+                    invariant="resource-sanity", node=resource.name,
+                    deltas=snap)
+            limit = makespan * resource.capacity
+            if snap["busy_time"] < -ABS_TOL or (
+                    snap["busy_time"] > limit * (1 + REL_TOL) + ABS_TOL):
+                raise ConformanceError(
+                    "resource busy time exceeds makespan x capacity",
+                    invariant="resource-sanity", node=resource.name,
+                    deltas={"makespan": makespan, **snap})
+        self._passed("resource-sanity")
+
+    # -- per-join checks -----------------------------------------------------
+
+    def check_join(self, driver: "JoinDriver",
+                   result: "JoinResult") -> None:
+        """Validate one driver's result against the reference join."""
+        from repro.core.joins.reference import reference_join
+        spec = driver.spec
+        expected = reference_join(
+            driver.outer, driver.inner,
+            spec.outer_attribute, spec.inner_attribute,
+            outer_predicate=spec.outer_predicate,
+            inner_predicate=spec.inner_predicate)
+        if result.result_tuples != len(expected):
+            raise ConformanceError(
+                "join output cardinality differs from the reference "
+                "join",
+                invariant="join-result", phase=driver.algorithm,
+                deltas={"result_tuples": result.result_tuples,
+                        "reference_tuples": len(expected)})
+        if result.result_rows is not None:
+            import collections
+            actual_counts = collections.Counter(result.result_rows)
+            expected_counts = collections.Counter(expected)
+            if actual_counts != expected_counts:
+                missing = expected_counts - actual_counts
+                extra = actual_counts - expected_counts
+                raise ConformanceError(
+                    "join output multiset differs from the reference "
+                    "join",
+                    invariant="join-result", phase=driver.algorithm,
+                    deltas={"missing": sum(missing.values()),
+                            "unexpected": sum(extra.values())})
+        self._check_phases(driver, result)
+        self._passed("join-result")
+
+    def _check_phases(self, driver: "JoinDriver",
+                      result: "JoinResult") -> None:
+        if result.response_time < 0:
+            raise ConformanceError(
+                "negative response time",
+                invariant="join-result", phase=driver.algorithm,
+                deltas={"response_time": result.response_time})
+        total = 0.0
+        for stat in result.phases:
+            if stat.duration < -ABS_TOL:
+                raise ConformanceError(
+                    "negative phase duration",
+                    invariant="join-result", phase=stat.name,
+                    deltas={"start": stat.start, "end": stat.end})
+            total += stat.duration
+        if total > result.response_time * (1 + REL_TOL) + ABS_TOL:
+            raise ConformanceError(
+                "phase durations sum past the response time",
+                invariant="join-result", phase=driver.algorithm,
+                deltas={"phase_total": total,
+                        "response_time": result.response_time})
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict[str, typing.Any]:
+        """The ledger + pass record, as plain picklable data."""
+        return {
+            "checks_passed": list(self.checks_passed),
+            "tuples_scanned": self.tuples_scanned,
+            "tuples_scan_routed": self.tuples_scan_routed,
+            "packets_received": self.packets_received,
+            "tuples_received": self.tuples_received,
+            "routers": len(self.routers),
+            "split_tables_checked": self.split_tables_checked,
+        }

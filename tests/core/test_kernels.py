@@ -144,7 +144,8 @@ def make_router(capacity: int) -> Router:
             ring=types.SimpleNamespace(
                 transmit=None,
                 medium=types.SimpleNamespace(use=None))),
-        registry=types.SimpleNamespace(mailbox=None))
+        registry=types.SimpleNamespace(mailbox=None),
+        monitor=None)
     node = types.SimpleNamespace(node_id=0, name="n0")
     return Router(machine, node, [node], "test-port", 8)
 

@@ -1,0 +1,56 @@
+"""Tests for the §5 multiuser throughput study.
+
+The batch runner launches K full simulated joins concurrently on one
+machine; the smoke tests here run a 2-user batch at reduced scale
+with the conformance monitor armed, so the machine-wide invariants
+(tuple conservation, mailbox drain, resource sanity, ...) are checked
+across *interleaved* queries — the one regime the single-query suites
+never exercise.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.multiuser import MultiuserPoint, run_batch
+from repro.wisconsin.database import WisconsinDatabase
+
+CONFIG = ExperimentConfig(scale=0.02, num_disk_nodes=4,
+                          num_remote_join_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def batch_db():
+    """Non-HPJA joinABprime — the §5 case (tuples must move anyway)."""
+    return WisconsinDatabase.joinabprime(
+        CONFIG.num_disk_nodes, scale=CONFIG.scale, seed=7, hpja=False)
+
+
+@pytest.mark.parametrize("configuration", ["local", "remote"])
+def test_two_user_smoke_with_invariants(batch_db, configuration,
+                                        monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    point = run_batch(CONFIG, batch_db, configuration, 2)
+    assert isinstance(point, MultiuserPoint)
+    assert point.configuration == configuration
+    assert point.num_queries == 2
+    assert point.makespan > 0
+    assert 0 < point.mean_response <= point.makespan
+    assert point.throughput == pytest.approx(
+        2 / point.makespan * 60.0)
+    assert 0 < point.disk_utilisation <= 1.0
+
+
+def test_contention_stretches_the_batch(batch_db):
+    one = run_batch(CONFIG, batch_db, "local", 1)
+    two = run_batch(CONFIG, batch_db, "local", 2)
+    # Two concurrent queries contend for the same CPUs/disks/ring:
+    # the batch takes longer than one query but (thanks to overlap)
+    # less than two back-to-back runs.
+    assert two.makespan > one.makespan
+    assert two.makespan < 2 * one.makespan
+    assert two.mean_response >= one.mean_response
+
+
+def test_batch_size_must_be_positive(batch_db):
+    with pytest.raises(ValueError):
+        run_batch(CONFIG, batch_db, "local", 0)

@@ -1,0 +1,46 @@
+"""Fixtures for the runtime-conformance test suite.
+
+Every test here wants the ``REPRO_VERIFY`` gate open *before* the
+machine under test is built (the monitor is attached at construction
+time), so the fixtures below provide verify-enabled machines and a
+small helper that builds a fresh one per join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.joins import run_join
+from repro.engine.machine import GammaMachine
+
+
+@pytest.fixture
+def verify_env(monkeypatch) -> None:
+    """Open the REPRO_VERIFY gate for machines built inside the test."""
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+
+
+@pytest.fixture
+def verified_join(verify_env):
+    """Run one join on a fresh verify-enabled machine.
+
+    Returns ``(machine, result)`` so tests can inspect the monitor's
+    ledger alongside the join result.
+    """
+
+    def run(db, algorithm, memory_ratio, configuration="local",
+            num_disks=4, **kwargs):
+        if configuration == "remote":
+            machine = GammaMachine.remote(num_disks, num_disks)
+        else:
+            machine = GammaMachine.local(num_disks)
+        assert machine.monitor is not None, "REPRO_VERIFY gate closed"
+        result = run_join(
+            algorithm, machine, db.outer, db.inner,
+            inner_attribute=db.inner_attribute,
+            outer_attribute=db.outer_attribute,
+            memory_ratio=memory_ratio,
+            configuration=configuration, **kwargs)
+        return machine, result
+
+    return run

@@ -1,0 +1,124 @@
+"""Analytic-model agreement tests (Appendix-A style predictions).
+
+Every in-scope workload must land inside the documented tolerance
+band for all four algorithms, and the scope guards must refuse to
+predict workloads the model does not cover (filters, predicates,
+overflow) rather than mispredict them.
+"""
+
+import pytest
+
+from repro.verify import ConformanceError
+from repro.verify.analytic import (
+    ABS_TOLERANCE,
+    REL_TOLERANCE,
+    assess,
+    model_for,
+)
+
+ALGORITHMS = ["simple", "grace", "hybrid", "sort-merge"]
+
+
+def _assess(verified_join, db, algorithm, ratio, **kwargs):
+    machine, result = verified_join(db, algorithm, ratio, **kwargs)
+    return machine, result, assess(machine, db, result)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_within_tolerance_at_full_memory(tiny_db, verified_join,
+                                         algorithm):
+    machine, result, report = _assess(verified_join, tiny_db,
+                                      algorithm, 1.0)
+    assert report is not None
+    assert report["algorithm"] == algorithm
+    assert report["within_tolerance"]
+    for row in report["phases"]:
+        assert row["within"], row
+    # check=True must agree with the report
+    assess(machine, tiny_db, result, check=True)
+
+
+@pytest.mark.parametrize("algorithm", ["grace", "hybrid"])
+def test_within_tolerance_with_multiple_buckets(tiny_db, verified_join,
+                                                algorithm):
+    machine, result, report = _assess(verified_join, tiny_db,
+                                      algorithm, 0.5)
+    assert result.num_buckets > 1
+    assert report is not None and report["within_tolerance"]
+
+
+def test_within_tolerance_on_remote_configuration(tiny_db,
+                                                  verified_join):
+    machine, result, report = _assess(verified_join, tiny_db,
+                                      "hybrid", 1.0,
+                                      configuration="remote")
+    assert report is not None and report["within_tolerance"]
+
+
+def test_within_tolerance_without_hpja(tiny_db_nonhpja,
+                                       verified_join):
+    machine, result, report = _assess(verified_join, tiny_db_nonhpja,
+                                      "grace", 0.5)
+    assert report is not None and report["within_tolerance"]
+
+
+def test_report_covers_every_simulated_phase(tiny_db, verified_join):
+    machine, result, report = _assess(verified_join, tiny_db,
+                                      "grace", 0.5)
+    simulated = {stat.name for stat in result.phases}
+    reported = {row["phase"] for row in report["phases"]}
+    assert reported == simulated
+
+
+def test_totals_are_consistent(tiny_db, verified_join):
+    machine, result, report = _assess(verified_join, tiny_db,
+                                      "sort-merge", 1.0)
+    # The whole-query total is the response time itself, which also
+    # covers the inter-phase scheduler gaps the per-phase rows omit.
+    assert report["total_simulated"] == result.response_time
+    assert sum(row["simulated"] for row in report["phases"]) <= \
+        report["total_simulated"]
+    assert report["total_lower"] <= report["total_predicted"] <= \
+        report["total_upper"]
+    assert report["rel_tol"] == REL_TOLERANCE
+    assert report["abs_tol"] == ABS_TOLERANCE
+
+
+class TestScopeGuards:
+    def test_bit_filters_are_out_of_scope(self, tiny_db,
+                                          verified_join):
+        machine, result = verified_join(tiny_db, "hybrid", 1.0,
+                                        bit_filters=True)
+        assert model_for(machine, tiny_db, result) is None
+        assert assess(machine, tiny_db, result) is None
+
+    def test_overflow_is_out_of_scope(self, tiny_db, verified_join):
+        machine, result = verified_join(tiny_db, "simple", 0.25)
+        assert result.overflow_events > 0
+        assert assess(machine, tiny_db, result) is None
+
+    def test_predicates_are_out_of_scope(self, tiny_db,
+                                         verified_join):
+        machine, result = verified_join(
+            tiny_db, "hybrid", 1.0,
+            outer_predicate=lambda row: row[0] % 2 == 0)
+        assert assess(machine, tiny_db, result) is None
+
+
+class TestToleranceEnforcement:
+    def test_impossible_band_raises(self, tiny_db, verified_join):
+        """With a near-zero band the (inexact) prediction must trip
+        the checker — proving the band is actually enforced."""
+        machine, result = verified_join(tiny_db, "grace", 0.5)
+        with pytest.raises(ConformanceError) as info:
+            assess(machine, tiny_db, result, rel_tol=1e-12,
+                   abs_tol=0.0, check=True)
+        assert info.value.invariant == "analytic"
+
+    def test_report_mode_flags_instead_of_raising(self, tiny_db,
+                                                  verified_join):
+        machine, result = verified_join(tiny_db, "grace", 0.5)
+        report = assess(machine, tiny_db, result, rel_tol=1e-12,
+                        abs_tol=0.0)
+        assert not report["within_tolerance"]
+        assert any(not row["within"] for row in report["phases"])

@@ -1,0 +1,130 @@
+"""ConformanceError structure and the split-table invariant.
+
+The dedicated exception must carry enough data to be reported (which
+invariant, where, what disagreed), and a deliberately corrupted split
+table must be caught before it silently skews a simulated result.
+"""
+
+import pytest
+
+from repro.core.split_table import SplitTable
+from repro.engine.machine import GammaMachine
+from repro.verify import ConformanceError
+from repro.verify.invariants import ConformanceMonitor
+
+
+class TestConformanceError:
+    def test_is_an_assertion_error(self):
+        assert issubclass(ConformanceError, AssertionError)
+
+    def test_carries_structured_context(self):
+        err = ConformanceError(
+            "ledger disagrees", invariant="tuple-conservation",
+            node=3, phase="grace.formR",
+            deltas={"routed": 100, "delivered": 99})
+        assert err.invariant == "tuple-conservation"
+        assert err.node == 3
+        assert err.phase == "grace.formR"
+        assert err.deltas == {"routed": 100, "delivered": 99}
+
+    def test_message_renders_all_parts(self):
+        err = ConformanceError(
+            "ledger disagrees", invariant="page-accounting",
+            node="disk1", phase="probe", deltas={"pages": -2})
+        text = str(err)
+        assert "[page-accounting]" in text
+        assert "ledger disagrees" in text
+        assert "node=disk1" in text
+        assert "phase=probe" in text
+        assert "pages=-2" in text
+
+    def test_context_is_optional(self):
+        err = ConformanceError("bare message")
+        assert err.invariant is None
+        assert err.node is None
+        assert err.phase is None
+        assert err.deltas == {}
+        assert str(err) == "bare message"
+
+
+def monitor_for(num_disks=4):
+    machine = GammaMachine.local(num_disks)
+    return machine, ConformanceMonitor(machine)
+
+
+class TestSplitTableInvariant:
+    def test_valid_table_passes(self):
+        machine, monitor = monitor_for()
+        table = SplitTable.joining(machine.disk_nodes)
+        monitor.check_split_table(
+            table, expected_nodes=[n.node_id for n in machine.disk_nodes],
+            num_buckets=1)
+        assert monitor.split_tables_checked == 1
+
+    def test_stray_destination_is_caught(self):
+        machine, monitor = monitor_for()
+        table = SplitTable.joining(machine.disk_nodes)
+        with pytest.raises(ConformanceError) as info:
+            monitor.check_split_table(table, expected_nodes=[0, 1, 2])
+        assert info.value.invariant == "split-table"
+        assert info.value.deltas["stray_nodes"] == [3]
+
+    def test_starved_node_is_caught(self):
+        machine, monitor = monitor_for()
+        table = SplitTable.joining(machine.disk_nodes[:2])
+        with pytest.raises(ConformanceError) as info:
+            monitor.check_split_table(
+                table, expected_nodes=[0, 1, 2, 3], phase="build")
+        assert info.value.invariant == "split-table"
+        assert info.value.phase == "build"
+        assert info.value.deltas["starved_nodes"] == [2, 3]
+
+    def test_out_of_range_bucket_is_caught(self):
+        machine, monitor = monitor_for()
+        table = SplitTable.grace_partitioning(4, machine.disk_nodes)
+        with pytest.raises(ConformanceError) as info:
+            monitor.check_split_table(
+                table, expected_nodes=[0, 1, 2, 3], num_buckets=2)
+        assert info.value.invariant == "split-table"
+        assert info.value.deltas["bad_buckets"] == [2, 3]
+
+
+class TestCorruptedTableRegression:
+    """A corrupted routing table must abort the run, not skew it."""
+
+    def test_all_entries_on_one_node_is_caught(self, tiny_db,
+                                               verify_env,
+                                               monkeypatch):
+        original = SplitTable.joining.__func__
+
+        def corrupt(cls, join_nodes):
+            return original(cls, [join_nodes[0]] * len(join_nodes))
+
+        monkeypatch.setattr(SplitTable, "joining", classmethod(corrupt))
+        from repro.core.joins import run_join
+        machine = GammaMachine.local(4)
+        with pytest.raises(ConformanceError) as info:
+            run_join("simple", machine, tiny_db.outer, tiny_db.inner,
+                     join_attribute="unique1", memory_ratio=1.0)
+        assert info.value.invariant == "split-table"
+        assert info.value.deltas["starved_nodes"] == [1, 2, 3]
+
+    def test_same_corruption_passes_unnoticed_without_verify(
+            self, tiny_db, monkeypatch):
+        """The gate-closed run is exactly what the monitor protects
+        against: the corrupted table yields a *plausible* but wrong
+        simulation instead of an error."""
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        original = SplitTable.joining.__func__
+
+        def corrupt(cls, join_nodes):
+            return original(cls, [join_nodes[0]] * len(join_nodes))
+
+        monkeypatch.setattr(SplitTable, "joining", classmethod(corrupt))
+        from repro.core.joins import run_join
+        machine = GammaMachine.local(4)
+        assert machine.monitor is None
+        result = run_join("simple", machine, tiny_db.outer,
+                          tiny_db.inner, join_attribute="unique1",
+                          memory_ratio=1.0, capacity_slack=8.0)
+        assert result.result_tuples == tiny_db.expected_result_tuples
