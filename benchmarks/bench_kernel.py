@@ -88,6 +88,40 @@ def time_microbench(reps: int) -> dict:
     return _summary(times)
 
 
+def time_scheduler(reps: int) -> dict | None:
+    """Scheduler microbench (wide pending set), both REPRO_SCHED arms.
+
+    The figure sweeps never hold more than a few dozen pending times,
+    where the calendar and the heap are at parity — this workload
+    (50k distinct pending timestamps, day index engaged) is where the
+    calendar's O(1) day index separates from the heap's O(log n).
+    """
+    try:
+        from benchmarks.test_kernel_microbench import run_scheduler_workload
+    except ImportError:
+        return None  # revision predates the scheduler microbench
+    import os
+
+    out = {}
+    saved = os.environ.get("REPRO_SCHED")
+    try:
+        for sched in ("calendar", "heap"):
+            os.environ["REPRO_SCHED"] = sched
+            run_scheduler_workload(n_pending=2000, rounds=1)  # warm-up
+            times = []
+            for _ in range(reps):
+                started = time.perf_counter()
+                run_scheduler_workload()
+                times.append(time.perf_counter() - started)
+            out[sched] = _summary(times)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SCHED", None)
+        else:
+            os.environ["REPRO_SCHED"] = saved
+    return out
+
+
 def time_dataplane(reps: int) -> dict | None:
     """Data-plane microbench (hash/filter/build/probe, no simulator).
 
@@ -118,8 +152,18 @@ def main(argv: list | None = None) -> int:
                         help="jobs levels to time (default: 1 2)")
     parser.add_argument("--label", default=None,
                         help="sample label (default: git revision)")
+    parser.add_argument("--sched", default=None,
+                        choices=("calendar", "heap"),
+                        help="pin REPRO_SCHED for the sweep/microbench "
+                             "timings (default: inherit environment)")
+    parser.add_argument("--notes", default=None,
+                        help="free-form context recorded with the sample")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
+
+    if args.sched is not None:
+        import os
+        os.environ["REPRO_SCHED"] = args.sched
 
     revision = _git_revision()
     sample = {
@@ -132,6 +176,13 @@ def main(argv: list | None = None) -> int:
         "figure5_sweep": {},
         "kernel_microbench": time_microbench(args.reps),
     }
+    if args.sched is not None:
+        sample["sched"] = args.sched
+    if args.notes is not None:
+        sample["notes"] = args.notes
+    scheduler = time_scheduler(args.reps)
+    if scheduler is not None:
+        sample["scheduler_microbench"] = scheduler
     dataplane = time_dataplane(args.reps)
     if dataplane is not None:
         sample["dataplane_microbench"] = dataplane

@@ -183,6 +183,59 @@ def run_dataplane_workload(vector: bool | None = None,
     }
 
 
+# -- scheduler microbenchmark ----------------------------------------------
+
+SCHED_PENDING = 50000
+SCHED_ROUNDS = 2
+
+
+def run_scheduler_workload(n_pending: int = SCHED_PENDING,
+                           rounds: int = SCHED_ROUNDS) -> Simulator:
+    """Wide-pending-set workload: the regime the calendar queue is for.
+
+    ``n_pending`` sleepers, each with a distinct deadline, re-arming
+    ``rounds`` times — the pending population stays near ``n_pending``
+    distinct timestamps for the whole run.  The binary heap pays
+    O(log n) float-tuple comparisons per event at that population; the
+    calendar's day index (engaged past 4096 distinct times) pays O(1)
+    dict operations.  The paper-scale figure sweeps never leave the
+    few-dozen-pending regime where the two are at parity — this
+    workload is where the asymptotic separation actually shows.
+    """
+    sim = Simulator()
+
+    def sleeper(index: int):
+        delay = 0.001 * (index + 1)
+        for _ in range(rounds):
+            yield sim.timeout(delay)
+
+    for index in range(n_pending):
+        sim.process(sleeper(index))
+    sim.run()
+    return sim
+
+
+def test_scheduler_microbench(benchmark):
+    sim = benchmark(run_scheduler_workload, n_pending=6000, rounds=2)
+    counters = sim.kernel_counters()
+    assert counters["queued_events"] == 0
+    assert counters["events_fired"] >= 6000 * 2
+    if counters["sched_mode"] == "calendar":
+        # 6000 distinct pending times must have engaged the day index.
+        assert counters["sched_calendar_engages"] >= 1
+
+
+def test_scheduler_modes_agree_at_scale(monkeypatch):
+    """Calendar (day index engaged) and heap end bit-identical."""
+    monkeypatch.setenv("REPRO_SCHED", "calendar")
+    calendar = run_scheduler_workload(n_pending=5000, rounds=2)
+    monkeypatch.setenv("REPRO_SCHED", "heap")
+    heap = run_scheduler_workload(n_pending=5000, rounds=2)
+    assert calendar.kernel_counters()["sched_calendar_engages"] >= 1
+    assert repr(calendar.now) == repr(heap.now)
+    assert calendar.events_fired == heap.events_fired
+
+
 def test_dataplane_microbench(benchmark):
     digest = benchmark(run_dataplane_workload)
     assert digest["inserted"] == DP_PAGES * DP_PAGE_ROWS

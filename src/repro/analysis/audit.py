@@ -77,11 +77,20 @@ def event_label(event: "Event") -> str:
     Prefers the named owner of the event's first callback (the process
     or resource the firing will touch), falling back to the event's
     own name (a completing :class:`Process`) and finally its type.
+
+    Owners may precompute their label in an ``audit_label`` attribute
+    (:class:`~repro.sim.process.Process` and
+    :class:`~repro.sim.resources.Resource` do) — the calendar
+    scheduler's cohort gate labels events at kernel rate, so the
+    type/name introspection is hoisted to owner construction.
     """
     for callback in event.callbacks:
         owner = getattr(callback, "__self__", None)
         if owner is None:
             continue
+        label = getattr(owner, "audit_label", None)
+        if label is not None:
+            return label
         name = getattr(owner, "name", None)
         if isinstance(name, str):
             return f"{type(owner).__name__.lower()}:{name}"
@@ -94,6 +103,32 @@ def event_label(event: "Event") -> str:
 def normalise(label: str) -> str:
     """Collapse digit runs so symmetric peers share one site name."""
     return _DIGITS.sub("#", label)
+
+
+def signature_is_benign(normalised: typing.Sequence[str], signature: str,
+                        benign_labels: typing.Sequence[str]
+                        = DEFAULT_BENIGN_LABELS,
+                        benign_signatures: typing.Sequence[str] = ()
+                        ) -> bool:
+    """Classify one tie/cohort signature (see "Classification" above).
+
+    Shared by :class:`TieAuditor` and the calendar scheduler's
+    cohort-fire gate (``Simulator._cohort_benign``): a same-instant
+    event group may be fired straight off its bucket only when this
+    classification vouches for its signature — the same contract that
+    marks a tie site accounted-for in the audit report.
+
+    ``normalised`` is the sorted, deduplicated list of normalised event
+    labels; ``signature`` is their :data:`SEPARATOR` join.
+    """
+    if len(normalised) == 1:
+        return True  # symmetric peers: identical code, either order
+    if all(any(fnmatch.fnmatchcase(label, pattern)
+               for pattern in benign_labels)
+           for label in normalised):
+        return True
+    return any(fnmatch.fnmatchcase(signature, pattern)
+               for pattern in benign_signatures)
 
 
 @dataclasses.dataclass
@@ -181,14 +216,9 @@ class TieAuditor:
 
     def _is_benign(self, normalised: typing.Sequence[str],
                    signature: str) -> bool:
-        if len(normalised) == 1:
-            return True  # symmetric peers: identical code, either order
-        if all(any(fnmatch.fnmatchcase(label, pattern)
-                   for pattern in self.benign_labels)
-               for label in normalised):
-            return True
-        return any(fnmatch.fnmatchcase(signature, pattern)
-                   for pattern in self.benign_signatures)
+        return signature_is_benign(normalised, signature,
+                                   self.benign_labels,
+                                   self.benign_signatures)
 
     # -- reporting -------------------------------------------------------
 

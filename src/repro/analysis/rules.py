@@ -62,6 +62,30 @@ class ModuleContext:
                 for name in node.names:
                     local = name.asname or name.name
                     self.aliases[local] = f"{node.module}.{name.name}"
+        # Second pass: simple local aliases of already-resolvable
+        # chains — the kernel's run loops hoist hot callables
+        # (``heappush = heapq.heappush``), and the rules must see
+        # through the new name.  Scope-blind like everything else
+        # here; a rebinding to anything unresolvable removes the
+        # alias again.
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            local = node.targets[0].id
+            value = node.value
+            if isinstance(value, (ast.Name, ast.Attribute)):
+                root = value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (isinstance(root, ast.Name)
+                        and root.id in self.aliases):
+                    resolved = self.resolve(value)
+                    if resolved is not None and resolved != local:
+                        self.aliases[local] = resolved
+                        continue
+            self.aliases.pop(local, None)
 
     def resolve(self, node: ast.expr) -> str | None:
         """Canonical dotted name of a Name/Attribute chain, if any."""

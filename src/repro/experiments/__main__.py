@@ -70,6 +70,7 @@ def _iter_sweep_points(outcome):
 def _kernel_summary(outcome) -> str | None:
     """Aggregate per-point kernel counters (profile mode only)."""
     totals: dict[str, int] = {}
+    labels: dict[str, set] = {}
     points = 0
     for point in _iter_sweep_points(outcome):
         if point.kernel_counters is None:
@@ -78,13 +79,19 @@ def _kernel_summary(outcome) -> str | None:
         for key, value in point.kernel_counters.items():
             if key.startswith("dp_"):
                 continue  # reported by _dataplane_summary
-            if key == "heap_peak":
+            if isinstance(value, str):
+                # Mode labels (e.g. sched_mode) aggregate as the set of
+                # distinct values, not a sum.
+                labels.setdefault(key, set()).add(value)
+            elif key == "heap_peak":
                 totals[key] = max(totals.get(key, 0), value)
             else:
                 totals[key] = totals.get(key, 0) + value
     if not points:
         return None
-    body = "  ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+    merged: dict[str, object] = dict(totals)
+    merged.update((k, "/".join(sorted(v))) for k, v in labels.items())
+    body = "  ".join(f"{k}={v}" for k, v in sorted(merged.items()))
     return f"## kernel ({points} points): {body}"
 
 

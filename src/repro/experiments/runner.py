@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import multiprocessing
+import os
 import typing
 
 from repro.core.joins import JoinResult, run_join
@@ -207,20 +209,53 @@ def _run_job(config: ExperimentConfig, job: SweepJob) -> SweepPoint:
         **dict(job.spec_kwargs))
 
 
+def _fork_context() -> typing.Any:
+    """The ``fork`` multiprocessing context, or None where unsupported.
+
+    Forked workers inherit the parent's ``_DB_CACHE`` copy-on-write,
+    which is what makes the parent-side prefill in
+    :func:`run_sweep_points` a *shared-memory database cache*: the
+    Wisconsin relations are built once and never pickled nor rebuilt.
+    On spawn-only platforms workers fall back to rebuilding their own
+    cached copy (deterministic, so results are identical — just
+    slower on the first point per worker).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - spawn-only platform
+        return None
+
+
 def run_sweep_points(config: ExperimentConfig,
                      jobs: typing.Sequence[SweepJob]
                      ) -> list[SweepPoint]:
     """Run independent sweep points, optionally across processes.
 
     With ``config.jobs > 1`` the points are farmed to a
-    ``ProcessPoolExecutor``; each worker seeds and caches its own copy
-    of the database and runs its points as self-contained simulations,
-    so every simulated response time is identical to the sequential
-    run — results are returned in job order either way.
+    ``ProcessPoolExecutor`` and results are returned in job order,
+    bit-identical to the sequential run (each point is a
+    self-contained simulation).  Two provisions keep ``--jobs`` an
+    actual optimisation (see EXPERIMENTS.md):
+
+    * on a single-core host — or for a single job — the pool is
+      skipped entirely: interpreter startup plus result pickling can
+      only lose when nothing runs concurrently;
+    * where ``fork`` is available, every distinct database the jobs
+      need is built *before* the pool starts, so workers inherit the
+      built relations through copy-on-write pages instead of each
+      rebuilding them from the generators.
     """
     n_workers = min(config.jobs, len(jobs))
+    if n_workers > 1 and (os.cpu_count() or 1) <= 1:
+        n_workers = 1
     if n_workers <= 1:
         return [_run_job(config, job) for job in jobs]
+    mp_context = _fork_context()
+    if mp_context is not None:
+        # Shared-memory database cache: prefill before forking.
+        # (dict.fromkeys, not a set: deterministic build order.)
+        for hpja in dict.fromkeys(job.hpja for job in jobs):
+            sweep_database(config, hpja)
     with concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_workers) as pool:
+            max_workers=n_workers, mp_context=mp_context) as pool:
         return list(pool.map(_run_job, [config] * len(jobs), jobs))

@@ -1,0 +1,397 @@
+"""Calendar-queue future-event list (``REPRO_SCHED=calendar``).
+
+The classic scheduler keys a binary heap by ``(time, priority,
+sequence)`` and pays O(log n) per push/pop plus a 4-tuple allocation
+per entry.  This module replaces it with a bucketed future-event list
+in the calendar-queue family (Brown 1988): events scheduled for the
+same instant live in one *cohort bucket*, and only **distinct** times
+are ordered.
+
+Layout
+------
+* ``normal`` / ``urgent`` — ``dict[float, entry]`` mapping an exact
+  timestamp to its cohort.  A singleton cohort — the overwhelmingly
+  common case in the paper's workloads — is stored as the bare
+  :class:`Event` (no container at all); a multi-event cohort upgrades
+  to a plain list shaped ``[next_index, event, event, ...]`` whose
+  slot 0 is the consumption cursor, so partially drained buckets need
+  no slicing and exhausted lists are recycled through ``bucket_pool``.
+  Either way entries are tuple-free — no ``(time, priority, sequence,
+  event)`` allocation per schedule.
+* a **time index** ordering the distinct pending timestamps.  Below
+  ``engage_threshold`` distinct times this is a plain float min-heap
+  (``times``) — at the paper's scales the queue holds a few dozen
+  distinct times, where a native-compare float heap beats any
+  multi-level scheme.  Past the threshold the index *engages* a
+  **day index**: timestamps map to integer days of ``width`` seconds
+  (``days``/``day_heap``), and only the day currently being drained
+  keeps a sorted timestamp list (``cd_*``).  An insert into the
+  current day is a ``bisect.insort`` past the cursor; an insert into a
+  future day is an O(1) append.  The index *disengages* back to the
+  flat heap when the pending population falls below a quarter of the
+  threshold (hysteresis).
+
+Width policy and resize
+-----------------------
+On engagement the width is chosen so a day holds ``target_per_day``
+distinct times on average: ``width = span / (n_times /
+target_per_day)``.  Two heuristics adapt it mid-run (a *resize*
+rebuckets every pending timestamp under the new width):
+
+* a day collecting ``day_limit`` distinct times **halves** the width
+  (guarded by a 1e-9 floor against inseparable clusters);
+* 64 consecutive single-timestamp days **double** it.
+
+``REPRO_SCHED_WIDTH`` (or the ``width=`` argument) forces a fixed
+width: the day index engages immediately and all automatic policy is
+disabled — that is how the edge-case tests pin "everything in one
+bucket" and "one event per bucket".
+
+Order equivalence
+-----------------
+The heap fires ties in ``sequence`` order — insertion order within one
+``(time, priority)`` key.  Here an insert *appends* to its cohort
+bucket, and every kernel insert happens at exactly the moment the heap
+path would have allocated its sequence number (grant-and-hold re-keys
+included — their urgent first leg is retained precisely so the re-key
+moment is unchanged).  Bucket order therefore equals sequence order
+entry for entry, urgent buckets drain before normal buckets at the
+same instant, and distinct times come out of the index sorted: the pop
+sequence is bit-identical to the heap's.  The property suite
+(``tests/sim/test_calendar.py``) drives both schedulers through
+randomized dense-tie workloads to hold this to the letter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from bisect import insort
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+#: Distinct pending times at which the flat heap hands over to the day
+#: index.  Figure-5 workloads peak around 40; the threshold only trips
+#: on the scale-out sweeps the calendar exists for.
+DEFAULT_ENGAGE_THRESHOLD = 4096
+#: Mean distinct times per day the engagement width aims for.
+DEFAULT_TARGET_PER_DAY = 16
+#: Distinct times in one day that trigger a width halving.
+DEFAULT_DAY_LIMIT = 512
+#: Consecutive single-time days that trigger a width doubling.
+_SPARSE_RUN = 64
+#: Recycled cohort lists kept around (covers the steady-state working
+#: set; beyond this the allocator is not the bottleneck).
+_BUCKET_POOL_CAP = 64
+
+_URGENT = 0
+_NORMAL = 1
+
+
+class CalendarQueue:
+    """Bucketed future-event list with exact-timestamp cohorts.
+
+    Only the two kernel priorities are supported: ``PRIORITY_URGENT``
+    (0) and ``PRIORITY_NORMAL`` (1).  The event loop reaches into the
+    ``normal``/``times``/``bucket_pool`` slots directly on its hot
+    path — they are kernel API, not private state.
+    """
+
+    __slots__ = ("normal", "urgent", "times", "bucket_pool",
+                 "day_mode", "auto", "width", "inv_width",
+                 "days", "day_heap", "cd_day", "cd_times", "cd_idx",
+                 "n_times", "n_events", "engage_threshold",
+                 "target_per_day", "day_limit", "engages", "resizes",
+                 "_sparse_days")
+
+    def __init__(self, width: float | None = None,
+                 engage_threshold: int = DEFAULT_ENGAGE_THRESHOLD,
+                 target_per_day: int = DEFAULT_TARGET_PER_DAY,
+                 day_limit: int = DEFAULT_DAY_LIMIT) -> None:
+        # Entry is a bare Event (singleton cohort) or a cursor list
+        # ``[next_index, event, ...]`` — see the module docstring.
+        self.normal: dict[float, typing.Any] = {}
+        self.urgent: dict[float, typing.Any] = {}
+        self.times: list[float] = []
+        self.bucket_pool: list[list] = []
+        self.days: dict[int, list[float]] = {}
+        self.day_heap: list[int] = []
+        self.cd_day = -1
+        self.cd_times: list[float] = []
+        self.cd_idx = 0
+        self.n_times = 0
+        #: O(1) pending-event count.  ``Simulator._schedule`` reads it
+        #: on *every* schedule (for the ``heap_peak`` diagnostic), so
+        #: it cannot be a bucket scan; the engine's inlined run loop
+        #: adjusts it directly at the sites that bypass
+        #: :meth:`insert`/:meth:`pop`.  While a cohort bucket is being
+        #: walked by the run loop its remaining events are already
+        #: excluded — same as the heap, whose popped entry is out of
+        #: ``len(heap)`` before it fires.
+        self.n_events = 0
+        self.engage_threshold = engage_threshold
+        self.target_per_day = target_per_day
+        self.day_limit = day_limit
+        self.engages = 0
+        self.resizes = 0
+        self._sparse_days = 0
+        #: ``auto`` drives engagement/resize; a forced width pins the
+        #: day index on with all policy off (see module docstring).
+        self.auto = width is None
+        if width is None:
+            self.day_mode = False
+            self._set_width(1.0)
+        else:
+            if width <= 0:
+                raise ValueError(f"bucket width must be > 0: {width!r}")
+            self.day_mode = True
+            self._set_width(width)
+
+    def _set_width(self, width: float) -> None:
+        self.width = width
+        self.inv_width = 1.0 / width
+
+    # -- insertion -------------------------------------------------------
+
+    def insert(self, time: float, priority: int, event: "Event") -> None:
+        """Append ``event`` to its ``(time, priority)`` cohort."""
+        if priority == _NORMAL:
+            buckets = self.normal
+            other = self.urgent
+        elif priority == _URGENT:
+            buckets = self.urgent
+            other = self.normal
+        else:
+            raise ValueError(
+                "calendar scheduler supports only the URGENT/NORMAL "
+                f"priorities; got {priority!r} (set REPRO_SCHED=heap "
+                "for custom priority classes)")
+        self.n_events += 1
+        entry = buckets.setdefault(time, event)
+        if entry is event:
+            # Both priority buckets at one timestamp share a single
+            # index entry; only the first registers it.
+            if not other or time not in other:
+                self._index_add(time)
+        elif type(entry) is list:
+            entry.append(event)
+        else:
+            # Singleton upgrades to a cursor bucket on first collision.
+            pool = self.bucket_pool
+            if pool:
+                bucket = pool.pop()
+                bucket.append(entry)
+                bucket.append(event)
+            else:
+                bucket = [1, entry, event]
+            buckets[time] = bucket
+
+    def _index_add(self, time: float) -> None:
+        if not self.day_mode:
+            # The flat heap holds exactly the pending distinct times,
+            # so its length *is* the population count.
+            heapq.heappush(self.times, time)
+            if self.auto and len(self.times) > self.engage_threshold:
+                self._engage_days()
+            return
+        self.n_times += 1
+        day = int(time * self.inv_width)
+        if day <= self.cd_day:
+            # The current drain day (or, for inserts at the current
+            # instant, an already-passed day): keep it in the sorted
+            # current-day list, past the cursor.  ``time >= now``
+            # guarantees the insertion point is >= cd_idx.
+            insort(self.cd_times, time, lo=self.cd_idx)
+            return
+        days = self.days
+        bucket = days.get(day)
+        if bucket is None:
+            days[day] = [time]
+            heapq.heappush(self.day_heap, day)
+        else:
+            bucket.append(time)
+            if (self.auto and len(bucket) >= self.day_limit
+                    and self.width > 1e-9):
+                self.resizes += 1
+                self._rebucket(self.width * 0.5)
+
+    # -- time index ------------------------------------------------------
+
+    def peek_time(self) -> float | None:
+        """The earliest pending timestamp (None when empty).
+
+        In day mode this may advance the current-day cursor to the
+        next non-empty day (amortized O(1) per distinct time).
+        """
+        if not self.day_mode:
+            times = self.times
+            return times[0] if times else None
+        if self.cd_idx < len(self.cd_times):
+            return self.cd_times[self.cd_idx]
+        while self.day_heap:
+            day = heapq.heappop(self.day_heap)
+            day_times = self.days.pop(day)
+            day_times.sort()
+            self.cd_day = day
+            self.cd_times = day_times
+            self.cd_idx = 0
+            if self.auto:
+                if len(day_times) == 1:
+                    self._sparse_days += 1
+                    if self._sparse_days >= _SPARSE_RUN:
+                        self._sparse_days = 0
+                        self.resizes += 1
+                        self._rebucket(self.width * 2.0)
+                        continue  # rebucket harvested the day; re-scan
+                else:
+                    self._sparse_days = 0
+            return day_times[0]
+        return None
+
+    def peek_key(self) -> tuple[float, int] | None:
+        """The ``(time, priority)`` key the next :meth:`pop` returns."""
+        time = self.peek_time()
+        if time is None:
+            return None
+        if self.urgent and time in self.urgent:
+            return (time, _URGENT)
+        return (time, _NORMAL)
+
+    def _index_remove_current(self) -> None:
+        """Drop the front index entry (its last bucket just died)."""
+        if not self.day_mode:
+            heapq.heappop(self.times)
+            return
+        self.n_times -= 1
+        self.cd_idx += 1
+        if self.auto and self.n_times * 4 < self.engage_threshold:
+            self._disengage_days()
+
+    def _pending_times(self) -> list[float]:
+        if not self.day_mode:
+            return list(self.times)
+        pending = self.cd_times[self.cd_idx:]
+        for day_times in self.days.values():
+            pending.extend(day_times)
+        return pending
+
+    def _engage_days(self) -> None:
+        times = self.times
+        self.n_times = len(times)
+        span = max(times) - times[0]
+        width = span / max(1.0, self.n_times / self.target_per_day)
+        self.engages += 1
+        self.day_mode = True
+        self.cd_day = -1
+        self.cd_times = []
+        self.cd_idx = 0
+        pending = times[:]
+        # Cleared in place: the calendar run loop holds an alias and
+        # repairs anything pushed there after a mid-loop engagement.
+        del times[:]
+        self._build_days(pending, width if width > 0.0 else 1.0)
+
+    def _disengage_days(self) -> None:
+        pending = self._pending_times()
+        heapq.heapify(pending)
+        self.times = pending
+        self.n_times = 0
+        self.day_mode = False
+        self.days = {}
+        self.day_heap = []
+        self.cd_day = -1
+        self.cd_times = []
+        self.cd_idx = 0
+
+    def _rebucket(self, width: float) -> None:
+        """Redistribute every pending timestamp under a new width."""
+        pending = self._pending_times()
+        self.cd_day = -1
+        self.cd_times = []
+        self.cd_idx = 0
+        self._build_days(pending, width)
+
+    def _build_days(self, pending: list[float], width: float) -> None:
+        self._set_width(width)
+        days: dict[int, list[float]] = {}
+        inv_width = self.inv_width
+        for time in pending:
+            day = int(time * inv_width)
+            day_times = days.get(day)
+            if day_times is None:
+                days[day] = [time]
+            else:
+                day_times.append(time)
+        self.days = days
+        day_heap = list(days)
+        heapq.heapify(day_heap)
+        self.day_heap = day_heap
+
+    # -- removal ---------------------------------------------------------
+
+    def pop(self) -> tuple[float, int, "Event"]:
+        """Remove and return the next ``(time, priority, event)``.
+
+        Heap-identical order: earliest time first, urgent before
+        normal at one instant, insertion order within a cohort.
+        """
+        time = self.peek_time()
+        if time is None:
+            raise IndexError("pop from an empty calendar queue")
+        urgent = self.urgent
+        if urgent:
+            entry = urgent.get(time)
+            if entry is not None:
+                return (time, _URGENT,
+                        self._consume(urgent, time, entry, self.normal))
+        entry = self.normal[time]
+        return (time, _NORMAL,
+                self._consume(self.normal, time, entry, urgent))
+
+    def _consume(self, buckets: dict, time: float, entry: typing.Any,
+                 other: dict) -> "Event":
+        self.n_events -= 1
+        if type(entry) is not list:
+            del buckets[time]
+            if not other or time not in other:
+                self._index_remove_current()
+            return entry
+        index = entry[0]
+        event = entry[index]
+        index += 1
+        if index == len(entry):
+            del buckets[time]
+            if not other or time not in other:
+                self._index_remove_current()
+            self._recycle(entry)
+        else:
+            entry[0] = index
+        return event
+
+    def _recycle(self, bucket: list) -> None:
+        pool = self.bucket_pool
+        if len(pool) < _BUCKET_POOL_CAP:
+            del bucket[1:]
+            bucket[0] = 1
+            pool.append(bucket)
+
+    # -- introspection ---------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Events waiting to fire (diagnostics; O(distinct times))."""
+        total = 0
+        for entry in self.normal.values():
+            total += (len(entry) - entry[0]) if type(entry) is list else 1
+        for entry in self.urgent.values():
+            total += (len(entry) - entry[0]) if type(entry) is list else 1
+        return total
+
+    def __bool__(self) -> bool:
+        return bool(self.normal or self.urgent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = (f"days w={self.width:g}" if self.day_mode else "flat")
+        n = self.n_times if self.day_mode else len(self.times)
+        return (f"<CalendarQueue {mode} times={n} "
+                f"events={self.pending_events()}>")

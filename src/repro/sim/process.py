@@ -40,7 +40,8 @@ class ProcessCrash(RuntimeError):
 class Process(Event):
     """A running simulated process (also an event: fires on completion)."""
 
-    __slots__ = ("generator", "name", "crash_error")
+    __slots__ = ("generator", "name", "crash_error", "_send",
+                 "audit_label")
 
     def __init__(self, sim: "Simulator", generator: typing.Generator,
                  name: str | None = None) -> None:
@@ -51,7 +52,14 @@ class Process(Event):
                 "did you call a plain function instead of a generator "
                 "function?")
         self.generator = generator
+        #: generator.send cached once — _resume runs once per fired
+        #: event, so the per-call bound-method lookup is hoisted here.
+        self._send = generator.send
         self.name = name or getattr(generator, "__name__", "process")
+        #: Precomputed tie-audit label (see repro.analysis.audit
+        #: .event_label) — resumes of this process are labelled at
+        #: kernel rate by the cohort-fire gate.
+        self.audit_label = f"{type(self).__name__.lower()}:{self.name}"
         self.crash_error: ProcessCrash | None = None
         # Kick off the process at the current instant.
         start = Event(sim)
@@ -71,7 +79,7 @@ class Process(Event):
         generator methods are hoisted out of the loop.
         """
         generator = self.generator
-        send = generator.send
+        send = self._send
         while True:
             try:
                 if event._ok:

@@ -1,12 +1,14 @@
 """Differential mode-matrix harness (``repro.verify.matrix``).
 
-The simulator has two performance planes that must not change any
-simulated result: the vectorized page-batch data plane
-(``REPRO_VECTOR``) and the event-loop urgent fastpath
-(``REPRO_FASTPATH``).  This module runs one workload through all four
-on/off combinations — each on a fresh machine, with the conformance
-monitor (``REPRO_VERIFY=1``) active — and asserts that every mode
-produces **bit-identical** response times and per-phase timings.  Any
+The simulator has three performance planes that must not change any
+simulated result: the event scheduler (``REPRO_SCHED``:
+calendar queue vs classic binary heap), the vectorized page-batch
+data plane (``REPRO_VECTOR``) and the event-loop urgent fastpath
+(``REPRO_FASTPATH``).  This module runs one workload through the full
+eight-combination cube — each on a fresh machine, with the
+conformance monitor (``REPRO_VERIFY=1``) active — and asserts that
+every mode produces **bit-identical** response times and per-phase
+timings.  Any
 invariant violation inside a combo surfaces as a
 :class:`~repro.verify.ConformanceError` from that run; any divergence
 *between* combos raises one from the harness itself.
@@ -32,20 +34,27 @@ import typing
 
 from repro.verify import ConformanceError
 
-#: (vector, fastpath) combinations, reference combo first.
-MODES: tuple[tuple[int, int], ...] = ((1, 1), (1, 0), (0, 1), (0, 0))
+#: (sched, vector, fastpath) combinations — the full cube, the
+#: all-defaults reference combo first.
+MODES: tuple[tuple[str, int, int], ...] = tuple(
+    (sched, vector, fastpath)
+    for sched in ("calendar", "heap")
+    for vector in (1, 0)
+    for fastpath in (1, 0))
 
 
 @contextlib.contextmanager
-def mode_env(vector: int, fastpath: int,
+def mode_env(sched: str, vector: int, fastpath: int,
              verify: bool = True) -> typing.Iterator[None]:
-    """Pin the data-plane/fastpath/verify environment for one run.
+    """Pin the scheduler/data-plane/fastpath/verify environment for
+    one run.
 
     The flags are read at machine- and driver-construction time, so a
     fresh machine built inside this context runs fully in the
     requested mode.
     """
     desired = {
+        "REPRO_SCHED": sched,
         "REPRO_VECTOR": str(vector),
         "REPRO_FASTPATH": str(fastpath),
         "REPRO_VERIFY": "1" if verify else "0",
@@ -71,7 +80,7 @@ def _phase_signature(result: typing.Any) -> list[tuple[str, str, str]]:
 def run_mode_matrix(config: typing.Any, db: typing.Any, algorithm: str,
                     memory_ratio: float, configuration: str = "local",
                     **spec_kwargs: typing.Any) -> dict:
-    """One workload through all four VECTOR × FASTPATH combos.
+    """One workload through the SCHED × VECTOR × FASTPATH cube.
 
     Every combo runs on a fresh machine with the conformance monitor
     enabled; the harness then asserts bit-identical response times and
@@ -81,25 +90,25 @@ def run_mode_matrix(config: typing.Any, db: typing.Any, algorithm: str,
     from repro.experiments.runner import run_sweep_point
 
     runs = []
-    for vector, fastpath in MODES:
-        with mode_env(vector, fastpath, verify=True):
+    for sched, vector, fastpath in MODES:
+        with mode_env(sched, vector, fastpath, verify=True):
             point = run_sweep_point(config, db, algorithm, memory_ratio,
                                     configuration=configuration,
                                     **spec_kwargs)
-        runs.append(((vector, fastpath), point))
+        runs.append(((sched, vector, fastpath), point))
 
     (_, reference), *rest = runs
     ref_sig = _phase_signature(reference.result)
     ref_time = repr(reference.result.response_time)
-    for (vector, fastpath), point in rest:
+    for (sched, vector, fastpath), point in rest:
         time = repr(point.result.response_time)
         if time != ref_time:
             raise ConformanceError(
                 f"{algorithm} response time diverges across modes: "
-                f"vector={vector} fastpath={fastpath} produced {time}, "
-                f"reference {ref_time}",
+                f"sched={sched} vector={vector} fastpath={fastpath} "
+                f"produced {time}, reference {ref_time}",
                 invariant="mode-matrix",
-                deltas={"mode": [vector, fastpath],
+                deltas={"mode": [sched, vector, fastpath],
                         "response_time": time,
                         "reference": ref_time})
         sig = _phase_signature(point.result)
@@ -109,9 +118,9 @@ def run_mode_matrix(config: typing.Any, db: typing.Any, algorithm: str,
             ] or [(ref_sig[len(sig):], sig[len(ref_sig):])]
             raise ConformanceError(
                 f"{algorithm} phase timings diverge across modes "
-                f"(vector={vector} fastpath={fastpath})",
+                f"(sched={sched} vector={vector} fastpath={fastpath})",
                 invariant="mode-matrix",
-                deltas={"mode": [vector, fastpath],
+                deltas={"mode": [sched, vector, fastpath],
                         "diverging_phases": diverging[:4]})
     return {
         "algorithm": algorithm,
@@ -132,8 +141,9 @@ def run_figure5_matrix(scale: float,
                        algorithms: typing.Sequence[str] | None = None,
                        ) -> list[dict]:
     """The Figure 5 workload (local HPJA joinABprime) through the
-    matrix: every algorithm × memory ratio, all four mode combos, all
-    invariants, plus the analytic assessment of the reference run."""
+    matrix: every algorithm × memory ratio, all eight mode combos,
+    all invariants, plus the analytic assessment of the reference
+    run."""
     from repro.experiments.config import (
         PAPER_MEMORY_RATIOS,
         ExperimentConfig,
@@ -165,8 +175,9 @@ def run_figure5_matrix(scale: float,
 def main(argv: typing.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify.matrix",
-        description="Differential REPRO_VECTOR x REPRO_FASTPATH "
-                    "conformance matrix over the Figure 5 workload.")
+        description="Differential REPRO_SCHED x REPRO_VECTOR x "
+                    "REPRO_FASTPATH conformance matrix over the "
+                    "Figure 5 workload.")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="Wisconsin scale factor (default 0.05)")
     parser.add_argument("--out", type=pathlib.Path, default=None,

@@ -14,3 +14,9 @@ def enqueue(heap):
     pending = Job(2)
     heapq.heappush(heap, pending)           # line 15: REPRO006
     return sorted([Job(5), Job(4)])         # line 16: REPRO006
+
+
+def enqueue_hoisted(heap):
+    # The hoisted-callable idiom must not hide the push site.
+    heappush = heapq.heappush
+    heappush(heap, Job(6))                  # line 22: REPRO006

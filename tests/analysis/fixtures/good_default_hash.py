@@ -22,3 +22,16 @@ def enqueue(heap, serial):
     # comparison never reaches the identity-hashed object.
     heapq.heappush(heap, (serial, Payload("x")))
     return sorted([Payload("a"), Payload("b")], key=lambda p: p.data)
+
+
+def record_only(heap, item):
+    heap.append(item)
+
+
+def enqueue_hoisted(heap, serial):
+    heappush = heapq.heappush
+    heappush(heap, (serial, Payload("y")))
+    # Rebinding the name removes the alias again (scope-blind, like
+    # the import pass): the call below is not heapq's.
+    heappush = record_only
+    heappush(heap, Payload("z"))

@@ -30,7 +30,7 @@ BAD_CASES = [
     ("bad_identity.py", ["REPRO003"] * 4),
     ("bad_set_iter.py", ["REPRO004"] * 4),
     ("bad_float_keys.py", ["REPRO005"] * 4),
-    ("bad_default_hash.py", ["REPRO006"] * 4),
+    ("bad_default_hash.py", ["REPRO006"] * 5),
 ]
 
 GOOD_FIXTURES = [

@@ -17,10 +17,11 @@ Both are checked with the fast paths on (default) and off
 kernel), so the switch itself is also covered.
 
 The vectorized page-batch data plane (``REPRO_VECTOR`` — see
-``repro.core.kernels``) makes the same bit-parity promise, so the
-figure-5/7 scenarios run the full REPRO_VECTOR × REPRO_FASTPATH
-matrix against the same goldens (figure14, the slowest sweep, is
-bounded to the vector × both-fastpath pairs).
+``repro.core.kernels``) and the calendar-queue scheduler
+(``REPRO_SCHED`` — see ``repro.sim.calendar``) make the same
+bit-parity promise: figure 5 runs the full SCHED × FASTPATH × VECTOR
+cube against the goldens; figures 7 and 14 (the slower sweeps) run
+every calendar combo plus the classic-heap reference combo.
 """
 
 from __future__ import annotations
@@ -37,30 +38,38 @@ from repro.experiments.config import ExperimentConfig
 RESULTS = pathlib.Path(__file__).parents[2] / "benchmarks" / "results"
 CONFIG = ExperimentConfig(scale=0.1, seed=1)
 
-#: (figure, REPRO_FASTPATH, REPRO_VECTOR) combinations under test.
-#: (0, 0) is the seed code path; figures 5 and 7 cover the full
-#: fastpath × vector matrix; figure14 (the slowest sweep — 36 remote
-#: points) is bounded to the vector-plane pairs.
+#: (figure, REPRO_SCHED, REPRO_FASTPATH, REPRO_VECTOR) combinations
+#: under test.  (heap, 0, 0) is the seed code path; figure 5 covers
+#: the full sched × fastpath × vector cube; figures 7 and 14 (the
+#: slower sweeps — figure14 is 36 remote points) run every calendar
+#: combo of their previous matrix plus the classic-heap reference.
 SCENARIOS = [
-    ("figure5", "1", "1"),
-    ("figure5", "0", "1"),
-    ("figure5", "1", "0"),
-    ("figure5", "0", "0"),
-    ("figure7", "1", "1"),
-    ("figure7", "0", "1"),
-    ("figure7", "1", "0"),
-    ("figure7", "0", "0"),
-    ("figure14", "1", "1"),
-    ("figure14", "0", "1"),
+    ("figure5", "calendar", "1", "1"),
+    ("figure5", "calendar", "0", "1"),
+    ("figure5", "calendar", "1", "0"),
+    ("figure5", "calendar", "0", "0"),
+    ("figure5", "heap", "1", "1"),
+    ("figure5", "heap", "0", "1"),
+    ("figure5", "heap", "1", "0"),
+    ("figure5", "heap", "0", "0"),
+    ("figure7", "calendar", "1", "1"),
+    ("figure7", "calendar", "0", "1"),
+    ("figure7", "calendar", "1", "0"),
+    ("figure7", "calendar", "0", "0"),
+    ("figure7", "heap", "1", "1"),
+    ("figure14", "calendar", "1", "1"),
+    ("figure14", "calendar", "0", "1"),
+    ("figure14", "heap", "1", "1"),
 ]
 
 _CACHE: dict = {}
 
 
-def sweep(name: str, fastpath: str, vector: str,
+def sweep(name: str, sched: str, fastpath: str, vector: str,
           monkeypatch) -> figures.Figure:
-    key = (name, fastpath, vector)
+    key = (name, sched, fastpath, vector)
     if key not in _CACHE:
+        monkeypatch.setenv("REPRO_SCHED", sched)
         monkeypatch.setenv("REPRO_FASTPATH", fastpath)
         monkeypatch.setenv("REPRO_VECTOR", vector)
         _CACHE[key] = getattr(figures, name)(CONFIG)
@@ -73,10 +82,10 @@ def golden() -> dict:
         return json.load(fh)["figures"]
 
 
-@pytest.mark.parametrize("name,fastpath,vector", SCENARIOS)
-def test_bit_identical_to_golden(name, fastpath, vector, golden,
+@pytest.mark.parametrize("name,sched,fastpath,vector", SCENARIOS)
+def test_bit_identical_to_golden(name, sched, fastpath, vector, golden,
                                  monkeypatch):
-    figure = sweep(name, fastpath, vector, monkeypatch)
+    figure = sweep(name, sched, fastpath, vector, monkeypatch)
     expected = golden[name]
     assert {s.label for s in figure.series} == set(expected)
     for series in figure.series:
@@ -85,7 +94,8 @@ def test_bit_identical_to_golden(name, fastpath, vector, golden,
         for point in series.points:
             assert repr(point.response_time) == want[repr(point.x)], (
                 f"{name}/{series.label} diverged at x={point.x} "
-                f"(REPRO_FASTPATH={fastpath}, REPRO_VECTOR={vector})")
+                f"(REPRO_SCHED={sched}, REPRO_FASTPATH={fastpath}, "
+                f"REPRO_VECTOR={vector})")
 
 
 def _parse_rendered(path: pathlib.Path) -> dict[str, list[float]]:
@@ -111,10 +121,11 @@ def _parse_rendered(path: pathlib.Path) -> dict[str, list[float]]:
     return rows
 
 
-@pytest.mark.parametrize("name,fastpath,vector",
+@pytest.mark.parametrize("name,sched,fastpath,vector",
                          [s for s in SCENARIOS if s[0] != "figure14"])
-def test_matches_rendered_report(name, fastpath, vector, monkeypatch):
-    figure = sweep(name, fastpath, vector, monkeypatch)
+def test_matches_rendered_report(name, sched, fastpath, vector,
+                                 monkeypatch):
+    figure = sweep(name, sched, fastpath, vector, monkeypatch)
     stored = _parse_rendered(RESULTS / f"{name}.txt")
     for series in figure.series:
         row = stored[series.label]

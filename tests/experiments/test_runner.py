@@ -4,6 +4,8 @@ import dataclasses
 
 import pytest
 
+import repro.experiments.runner as runner_module
+
 from repro.experiments.config import (
     PAPER_MEMORY_RATIOS,
     ExperimentConfig,
@@ -135,7 +137,10 @@ class TestParallelSweep:
         assert sweep_database(CONFIG, True) is not sweep_database(
             CONFIG, False)
 
-    def test_workers_match_sequential_bit_for_bit(self):
+    def test_workers_match_sequential_bit_for_bit(self, monkeypatch):
+        # Force the pool on even on a single-core CI host (where
+        # run_sweep_points would otherwise fall back to in-process).
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 2)
         sequential = run_sweep_points(CONFIG, self.JOBS)
         parallel = run_sweep_points(
             dataclasses.replace(CONFIG, jobs=2), self.JOBS)
@@ -149,3 +154,29 @@ class TestParallelSweep:
         points = run_sweep_points(CONFIG, self.JOBS[:1])
         assert points[0].x == 1.0
         assert points[0].response_time > 0
+
+    def test_single_core_host_skips_pool(self, monkeypatch):
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 1)
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor must not start on a "
+                    "single-core host")
+
+        monkeypatch.setattr(
+            runner_module.concurrent.futures, "ProcessPoolExecutor",
+            NoPool)
+        points = run_sweep_points(
+            dataclasses.replace(CONFIG, jobs=4), self.JOBS[:2])
+        assert [p.x for p in points] == [1.0, 0.5]
+
+    @pytest.mark.skipif(runner_module._fork_context() is None,
+                        reason="fork unavailable")
+    def test_parent_prefills_shared_database_cache(self, monkeypatch):
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 2)
+        runner_module._DB_CACHE.clear()
+        run_sweep_points(dataclasses.replace(CONFIG, jobs=2),
+                         self.JOBS[:2])
+        key = (CONFIG.num_disk_nodes, CONFIG.scale, CONFIG.seed, True)
+        assert key in runner_module._DB_CACHE

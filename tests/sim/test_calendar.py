@@ -1,0 +1,266 @@
+"""Property tests: the calendar queue is bit-identical to the heap.
+
+Two layers of evidence (DESIGN.md §11):
+
+* **structure-level** — a :class:`~repro.sim.calendar.CalendarQueue`
+  driven by randomized dense-tie insert/pop interleavings must dequeue
+  in exactly the order of a reference ``(time, priority, sequence)``
+  binary heap, across the flat index, forced-width day indexing
+  ("everything in one bucket" / "one event per bucket"), automatic
+  engagement/disengagement and mid-run resizes;
+* **engine-level** — full simulations (timeouts, contended resources,
+  store mailboxes) traced under ``REPRO_SCHED=calendar`` and
+  ``REPRO_SCHED=heap`` must produce bit-identical event traces, with
+  cohort firing on, forced off (``REPRO_SCHED_COHORT=0``) and under a
+  forced bucket width (``REPRO_SCHED_WIDTH``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.calendar import CalendarQueue
+from repro.sim.resources import Resource, Store
+
+
+class Token:
+    """Opaque payload with a unique identity (never a list — the
+    queue discriminates singleton entries by ``type``)."""
+
+    __slots__ = ("serial",)
+
+    def __init__(self, serial: int) -> None:
+        self.serial = serial
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.serial})"
+
+
+def drive(ops, **queue_kwargs):
+    """Run an insert/pop script against both implementations.
+
+    ``ops`` is a sequence of ``("ins", delta, priority)`` /
+    ``("pop",)`` steps; inserts are scheduled ``delta`` after the last
+    popped time (the kernel never schedules into the past).  Asserts
+    every pop (and the final drain) matches the reference heap
+    bit-for-bit, including the ``peek_key`` preview.
+    """
+    calendar = CalendarQueue(**queue_kwargs)
+    heap: list = []
+    sequence = 0
+    serial = 0
+    now = 0.0
+
+    def pop_both():
+        nonlocal now
+        when, priority, _seq, token = heapq.heappop(heap)
+        assert calendar.peek_key() == (when, priority)
+        assert calendar.pop() == (when, priority, token)
+        now = when
+
+    for op in ops:
+        if op[0] == "pop":
+            if heap:
+                pop_both()
+        else:
+            _tag, delta, priority = op
+            token = Token(serial)
+            serial += 1
+            sequence += 1
+            heapq.heappush(heap, (now + delta, priority, sequence, token))
+            calendar.insert(now + delta, priority, token)
+            assert calendar.pending_events() == len(heap)
+    while heap:
+        pop_both()
+    assert calendar.peek_time() is None
+    assert not calendar
+    with pytest.raises(IndexError):
+        calendar.pop()
+
+
+#: Deltas drawn from a tiny pool so identical timestamps (dense
+#: cohorts) are the norm, not the exception.
+_DELTAS = (0.0, 0.25, 0.5, 1.0, 3.125)
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("ins"), st.sampled_from(_DELTAS),
+                  st.sampled_from((0, 1))),
+        st.tuples(st.just("pop"))),
+    min_size=1, max_size=200)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_strategy)
+def test_flat_index_matches_heap(ops):
+    drive(ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_all_in_one_bucket_matches_heap(ops):
+    # Forced width far wider than any reachable timestamp: the day
+    # index is pinned on with every pending time in a single day.
+    drive(ops, width=1e9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_one_per_bucket_matches_heap(ops):
+    # Forced width finer than the smallest non-zero delta: every
+    # distinct timestamp gets a day of its own.
+    drive(ops, width=0.125)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_engagement_and_resize_matches_heap(ops):
+    # Tiny thresholds so the same scripts cross the engage boundary,
+    # hit the day_limit shrink, and disengage on drain-down.
+    drive(ops, engage_threshold=6, target_per_day=2, day_limit=3)
+
+
+def test_sparse_day_run_triggers_widening():
+    calendar = CalendarQueue(engage_threshold=4, target_per_day=1)
+    heap: list = []
+    for serial in range(200):
+        token = Token(serial)
+        heapq.heappush(heap, (float(serial), 1, serial, token))
+        calendar.insert(float(serial), 1, token)
+    assert calendar.day_mode
+    while heap:
+        when, priority, _seq, token = heapq.heappop(heap)
+        assert calendar.pop() == (when, priority, token)
+    # 200 consecutive single-time days must have crossed the
+    # 64-sparse-day widening heuristic at least once.
+    assert calendar.resizes >= 1
+
+
+def test_insert_rejects_unknown_priority():
+    calendar = CalendarQueue()
+    with pytest.raises(ValueError, match="REPRO_SCHED=heap"):
+        calendar.insert(1.0, 2, Token(0))
+
+
+def test_forced_width_must_be_positive():
+    with pytest.raises(ValueError, match="width"):
+        CalendarQueue(width=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Engine-level trace parity
+# ---------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def sched_env(**env):
+    """Pin scheduler env vars (monkeypatch mixes badly with @given)."""
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update(env)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def run_traced(plan, env):
+    """Run one randomized workload, returning its full event trace."""
+    with sched_env(**env):
+        sim = Simulator()
+        resources = [Resource(sim, capacity=1 + index % 2,
+                              name=f"res-{index}") for index in range(2)]
+        stores = [Store(sim, name=f"store-{index}") for index in range(2)]
+        trace: list = []
+
+        def body(pid, actions):
+            for step, action in enumerate(actions):
+                tag = action[0]
+                if tag == "timeout":
+                    yield sim.timeout(action[1])
+                elif tag == "use":
+                    yield from resources[action[1]].use(action[2])
+                elif tag == "put":
+                    stores[action[1]].put((pid, step))
+                    yield sim.timeout(0.0)
+                else:  # "get"
+                    item = yield stores[action[1]].get()
+                    trace.append((repr(sim.now), pid, step, "got", item))
+                trace.append((repr(sim.now), pid, step))
+
+        for pid, actions in enumerate(plan):
+            sim.process(body(pid, actions), name=f"proc-{pid}")
+        sim.run()
+        return trace, repr(sim.now), sim.events_fired
+
+
+action_strategy = st.one_of(
+    st.tuples(st.just("timeout"), st.sampled_from((0.0, 0.5, 1.0, 2.0))),
+    st.tuples(st.just("use"), st.sampled_from((0, 1)),
+              st.sampled_from((0.25, 1.0))),
+    st.tuples(st.just("put"), st.sampled_from((0, 1))),
+    st.tuples(st.just("get"), st.sampled_from((0, 1))),
+)
+
+plan_strategy = st.lists(
+    st.lists(action_strategy, min_size=1, max_size=6),
+    min_size=1, max_size=6)
+
+#: Every scheduler environment that must reproduce the heap's trace
+#: bit-for-bit.  The heap reference is run per example; a calendar
+#: variant covers each cohort/width configuration.
+CALENDAR_ENVS = [
+    {"REPRO_SCHED": "calendar"},
+    {"REPRO_SCHED": "calendar", "REPRO_SCHED_COHORT": "0"},
+    {"REPRO_SCHED": "calendar", "REPRO_SCHED_WIDTH": "0.25"},
+    {"REPRO_SCHED": "calendar", "REPRO_FASTPATH": "0"},
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=plan_strategy,
+       env=st.sampled_from(CALENDAR_ENVS))
+def test_simulation_trace_matches_heap(plan, env):
+    reference_env = dict(env, REPRO_SCHED="heap")
+    reference = run_traced(plan, reference_env)
+    assert run_traced(plan, env) == reference
+
+
+def test_invalid_sched_value_rejected():
+    with sched_env(REPRO_SCHED="wheel"):
+        with pytest.raises(ValueError, match="REPRO_SCHED"):
+            Simulator()
+
+
+def test_heap_mode_has_no_calendar():
+    with sched_env(REPRO_SCHED="heap"):
+        sim = Simulator()
+    assert sim._calendar is None
+    assert sim.kernel_counters()["sched_mode"] == "heap"
+
+
+def test_calendar_counters_exposed():
+    with sched_env(REPRO_SCHED="calendar"):
+        sim = Simulator()
+        resource = Resource(sim, name="r")
+
+        def body():
+            for _ in range(3):
+                yield from resource.use(1.0)
+
+        sim.process(body(), name="p")
+        sim.run()
+    counters = sim.kernel_counters()
+    assert counters["sched_mode"] == "calendar"
+    assert counters["sched_calendar_engages"] == 0
+    assert counters["sched_day_index"] == 0
+    assert counters["sched_event_pool_reuses"] >= 1
