@@ -143,6 +143,71 @@ def time_dataplane(reps: int) -> dict | None:
     return _summary(times)
 
 
+def time_certs(reps: int) -> dict | None:
+    """Interleaved A/B of the certificate gate (DESIGN.md §12).
+
+    The suspect-cohort workload under three arms — certificates off
+    (every cohort sequenced), on (batch-fired via upgrade), and
+    cross-checked — with reps interleaved arm-by-arm so clock drift
+    and cache warmth hit all arms alike.  Records timing plus
+    cohort-batch coverage (batched / total cohorts), which must be
+    >= the baseline arm's.
+    """
+    try:
+        from benchmarks.test_kernel_microbench import run_cohort_workload
+    except ImportError:
+        return None  # revision predates the certificate gate
+    import json as _json
+    import os
+    import tempfile
+
+    table = {
+        "version": 1,
+        "patterns": [{"pattern": "cohortactor:*", "kernel_safe": True,
+                      "effects": {"opaque": False}}],
+        "pairs": {"commutes": [[0, 0]], "serialized": []},
+    }
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False, encoding="utf-8")
+    with handle:
+        _json.dump(table, handle)
+    arms = {"off": None, "certs": handle.name,
+            "check": f"check:{handle.name}"}
+    times: dict = {arm: [] for arm in arms}
+    coverage: dict = {}
+    saved = os.environ.get("REPRO_SCHED_CERTS")
+    try:
+        run_cohort_workload(n_actors=4, rounds=8)  # warm-up
+        for _ in range(reps):
+            for arm, value in arms.items():
+                if value is None:
+                    os.environ.pop("REPRO_SCHED_CERTS", None)
+                else:
+                    os.environ["REPRO_SCHED_CERTS"] = value
+                started = time.perf_counter()
+                sim = run_cohort_workload()
+                times[arm].append(time.perf_counter() - started)
+                counters = sim.kernel_counters()
+                cohorts = counters["sched_cohorts"]
+                coverage[arm] = {
+                    "cohorts": cohorts,
+                    "sequenced": counters["sched_sequenced_cohorts"],
+                    "cert_upgrades": counters["sched_cert_upgrades"],
+                    "cert_checked": counters["sched_cert_checked"],
+                    "batch_coverage": round(
+                        1.0 - counters["sched_sequenced_cohorts"]
+                        / cohorts, 4) if cohorts else None,
+                }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SCHED_CERTS", None)
+        else:
+            os.environ["REPRO_SCHED_CERTS"] = saved
+        os.unlink(handle.name)
+    return {arm: {**_summary(times[arm]), **coverage[arm]}
+            for arm in arms}
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Append a kernel-perf sample to BENCH_kernel.json")
@@ -186,6 +251,9 @@ def main(argv: list | None = None) -> int:
     dataplane = time_dataplane(args.reps)
     if dataplane is not None:
         sample["dataplane_microbench"] = dataplane
+    certs = time_certs(args.reps)
+    if certs is not None:
+        sample["certs_microbench"] = certs
     for jobs in args.jobs:
         timing = time_figure5(args.scale, jobs, args.reps)
         if timing is not None:

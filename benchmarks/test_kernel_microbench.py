@@ -248,3 +248,61 @@ def test_dataplane_vector_matches_scalar():
     same accumulated CPU float."""
     assert (run_dataplane_workload(vector=True, n_pages=8)
             == run_dataplane_workload(vector=False, n_pages=8))
+
+
+# -- suspect-cohort workload (the certificate gate's regime) ----------------
+
+COHORT_ACTORS = 16
+COHORT_ROUNDS = 400
+
+
+class CohortActor:
+    """Event owner whose label (``cohortactor:<letter>``) sits outside the
+    runtime gate's benign classes — letters, not digits, so cohort
+    members keep distinct normalised labels and the homogeneous fast
+    path cannot vouch for them."""
+
+    __slots__ = ("name", "fired")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.fired = 0
+
+    def on_fire(self, event) -> None:
+        self.fired += 1
+
+
+def run_cohort_workload(n_actors: int = COHORT_ACTORS,
+                        rounds: int = COHORT_ROUNDS) -> Simulator:
+    """Suspect-signature cohort workload for the certificate A/B.
+
+    ``n_actors`` custom-labelled owners each arm one event per round,
+    all at the same timestamp, so every round is one ``n_actors``-event
+    cohort whose signature (``cohortactor:a + ...``) the runtime
+    gate must sequence.  With ``REPRO_SCHED_CERTS`` pointing at a table
+    that certifies ``cohortactor:*``, the same cohorts batch-fire — the
+    coverage delta is the point of ``bench_kernel``'s interleaved A/B.
+    """
+    import string
+
+    if n_actors > len(string.ascii_lowercase):
+        raise ValueError("letter-named actors only: n_actors <= 26")
+    sim = Simulator()
+    actors = [CohortActor(letter)
+              for letter in string.ascii_lowercase[:n_actors]]
+    for round_no in range(1, rounds + 1):
+        for actor in actors:
+            event = sim.timeout(float(round_no))
+            event.callbacks.append(actor.on_fire)
+    sim.run()
+    assert all(actor.fired == rounds for actor in actors)
+    return sim
+
+
+def test_cohort_microbench_sequences_by_default(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHED", "calendar")
+    monkeypatch.delenv("REPRO_SCHED_CERTS", raising=False)
+    sim = run_cohort_workload(n_actors=4, rounds=8)
+    counters = sim.kernel_counters()
+    assert counters["sched_sequenced_cohorts"] == 8
+    assert counters["sched_cert_upgrades"] == 0

@@ -21,15 +21,25 @@ DESIGN.md §8 catalogs the invariants each half protects.
 
 from repro.analysis.audit import TieAuditor
 from repro.analysis.config import LintConfig, load_lint_config
-from repro.analysis.linter import Finding, lint_file, lint_paths
+from repro.analysis.linter import (
+    Finding,
+    StaleSuppression,
+    lint_file,
+    lint_paths,
+    stale_suppressions,
+    strip_stale_suppressions,
+)
 from repro.analysis.rules import RULES
 
 __all__ = [
     "Finding",
     "LintConfig",
     "RULES",
+    "StaleSuppression",
     "TieAuditor",
     "lint_file",
     "lint_paths",
     "load_lint_config",
+    "stale_suppressions",
+    "strip_stale_suppressions",
 ]

@@ -1,0 +1,50 @@
+"""Whole-program effect analysis and commutativity certificates.
+
+This package closes the gap between the *runtime* tie auditor
+(:mod:`repro.analysis.audit`) and what can be *proved* about
+same-timestamp event cohorts: it walks every module of the sim-scoped
+packages, infers per-callable effect summaries (reads/writes of shared
+simulation state, event scheduling, resource/store queue traffic, RNG
+draws, with a conservative "opaque" lattice top for dynamic dispatch),
+attributes the event-site labels the auditor records to the spawn and
+resource-construction sites that produce them, and derives pairwise
+**commutativity certificates** between those site patterns.
+
+Layout
+------
+* :mod:`~repro.analysis.effects.model` — the effect lattice: footprint
+  strings, :class:`~repro.analysis.effects.model.EffectSummary`, the
+  pairwise conflict test.
+* :mod:`~repro.analysis.effects.sites` — the label-pattern algebra:
+  deriving a normalised label pattern from a name expression, wrapper
+  template substitution, and the pattern matcher the runtime gate uses.
+* :mod:`~repro.analysis.effects.analyzer` — the AST walker: call
+  graph over the sim packages (reusing the alias resolution of
+  :class:`repro.analysis.rules.ModuleContext`), effect inference with
+  fixpoint propagation, spawn-wrapper recognition, kernel-safety.
+* :mod:`~repro.analysis.effects.certificates` — certificate
+  derivation, the JSON table format, the runtime
+  :class:`~repro.analysis.effects.certificates.CertificateTable`, and
+  :class:`~repro.analysis.effects.certificates.CertificateError`.
+
+Run ``python -m repro.analysis.effects --emit-certs`` to (re)generate
+the table; the simulator loads it behind ``REPRO_SCHED_CERTS`` (see
+DESIGN.md §12).
+"""
+
+from repro.analysis.effects.certificates import (
+    CertificateError,
+    CertificateTable,
+    build_table,
+    load_table,
+)
+from repro.analysis.effects.model import EffectSummary, pair_verdict
+
+__all__ = [
+    "CertificateError",
+    "CertificateTable",
+    "EffectSummary",
+    "build_table",
+    "load_table",
+    "pair_verdict",
+]

@@ -1,0 +1,267 @@
+"""Commutativity certificates: derivation, table format, runtime gate.
+
+The certificate table is the machine-readable product of the analyzer
+(:mod:`repro.analysis.effects.analyzer`): the attributed event-site
+patterns with their effect footprints, plus the pairwise verdicts of
+:func:`repro.analysis.effects.model.pair_verdict` over every pattern
+pair (self-pairs included — two events from the *same* site usually
+share state and do **not** commute).
+
+Two certificate tiers back the scheduler gate:
+
+* **batchable** — every label of the cohort is attributed to analyzed,
+  kernel-safe model code.  Such a cohort may be batch-fired through the
+  calendar queue's cohort walk even when the runtime signature gate
+  would sequence it: the firing *order* is still the deterministic one,
+  only the per-event re-peek bookkeeping is skipped, so batchability is
+  a pure attribution property.  This is the tier that widens runtime
+  coverage.
+* **commutative** — additionally, every pair of matched patterns (self
+  pairs of duplicated labels included) has a ``commutes`` verdict:
+  provably disjoint footprints, so even *reordering* the cohort cannot
+  change any observable trace.  This is the tier the soundness property
+  tests exercise by firing cohorts in both orders.
+
+Verdicts use union semantics over multi-matches: a label matching
+several patterns carries the union of their footprints, so a pair of
+labels is commutative only if **all** combinations of their matched
+patterns commute.
+
+The committed table (``certificates.json`` next to this module) is
+regenerated with ``python -m repro.analysis.effects --emit-certs`` and
+checked for staleness by ``--check`` in CI; ``baseline.json`` holds the
+acknowledged suspect inventory (kernel-unsafe callables, opaque or
+unresolved sites) the check regresses against.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.analysis.effects.model import (
+    COMMUTES,
+    CONFLICTS,
+    SERIALIZED,
+    EffectSummary,
+    compile_pattern,
+    pair_verdict,
+)
+
+if typing.TYPE_CHECKING:
+    from repro.analysis.effects.analyzer import ProgramAnalysis
+
+TABLE_VERSION = 1
+
+#: The committed artifacts live next to this module so that the
+#: runtime gate can load them without knowing the repository root.
+DEFAULT_TABLE_PATH = pathlib.Path(__file__).with_name(
+    "certificates.json")
+BASELINE_PATH = pathlib.Path(__file__).with_name("baseline.json")
+
+
+class CertificateError(RuntimeError):
+    """A statically certified cohort was observed conflicting.
+
+    Raised by the runtime cross-check (``REPRO_SCHED_CERTS=check``)
+    when two members of a batch-fired cohort touch the same kernel
+    object during the batch — the structured analogue of a
+    :mod:`repro.verify` invariant failure.
+    """
+
+    def __init__(self, signature: str, when: float, owner: str,
+                 members: typing.Sequence[str]) -> None:
+        self.signature = signature
+        self.when = when
+        self.owner = owner
+        self.members = tuple(members)
+        super().__init__(
+            f"certified cohort {signature!r} at t={when!r} observed "
+            f"conflicting: {owner} touched by "
+            f"{' and '.join(self.members)}")
+
+
+def build_table(analysis: "ProgramAnalysis") -> dict[str, typing.Any]:
+    """Derive the certificate table from a program analysis.
+
+    Deterministic: patterns are sorted, pair lists are index pairs
+    ``i <= j`` in pattern order, every set is emitted sorted — so the
+    committed JSON is reproducible byte-for-byte and ``--check`` can
+    compare by equality.
+    """
+    patterns = sorted(analysis.sites)
+    closure_safe = analysis.sites_kernel_safe
+    entries: list[dict[str, typing.Any]] = []
+    summaries: list[EffectSummary] = []
+    for pattern in patterns:
+        site = analysis.sites[pattern]
+        summary = analysis.site_summaries[pattern]
+        summaries.append(summary)
+        # An unresolved site's generators could not be traced; its
+        # batch eligibility then rests on the closed-world invariant
+        # that no site-reachable callable in the analyzed packages is
+        # kernel-unsafe.
+        kernel_safe = summary.kernel_safe and (site.resolved
+                                               or closure_safe)
+        entries.append({
+            "pattern": pattern,
+            "origin": site.origin,
+            "callables": sorted(site.callables),
+            "resolved": site.resolved,
+            "kernel_safe": kernel_safe,
+            "effects": summary.to_json(),
+        })
+    commutes: list[list[int]] = []
+    serialized: list[list[int]] = []
+    for i, left in enumerate(summaries):
+        for j in range(i, len(summaries)):
+            verdict = pair_verdict(left, summaries[j])
+            if verdict == COMMUTES:
+                commutes.append([i, j])
+            elif verdict == SERIALIZED:
+                serialized.append([i, j])
+    return {
+        "version": TABLE_VERSION,
+        "generator": "repro.analysis.effects",
+        "kernel_safe_closure": closure_safe,
+        "patterns": entries,
+        "pairs": {"commutes": commutes, "serialized": serialized},
+        "stats": {
+            "patterns": len(patterns),
+            "kernel_safe_patterns": sum(
+                1 for e in entries if e["kernel_safe"]),
+            "opaque_patterns": sum(
+                1 for s in summaries if s.opaque),
+            "commuting_pairs": len(commutes),
+            "serialized_pairs": len(serialized),
+            "conflicting_pairs": (
+                len(summaries) * (len(summaries) + 1) // 2
+                - len(commutes) - len(serialized)),
+        },
+    }
+
+
+def build_baseline(analysis: "ProgramAnalysis"
+                   ) -> dict[str, typing.Any]:
+    """The acknowledged suspect inventory ``--check`` regresses
+    against."""
+    return {
+        "version": TABLE_VERSION,
+        "suspects": analysis.suspects(),
+    }
+
+
+class CertificateTable:
+    """Compiled form of the table, as loaded by the scheduler gate.
+
+    Label-to-pattern matching is memoised per normalised label (the
+    auditor's label universe is small and highly repetitive), so the
+    per-cohort classification cost after warm-up is set lookups only.
+    """
+
+    __slots__ = ("source", "patterns", "_kernel_safe", "_opaque",
+                 "_regexes", "_commutes", "_serialized", "_memo")
+
+    def __init__(self, data: dict[str, typing.Any],
+                 source: str = "<memory>") -> None:
+        version = data.get("version")
+        if version != TABLE_VERSION:
+            raise ValueError(
+                f"certificate table {source}: version {version!r} "
+                f"unsupported (expected {TABLE_VERSION})")
+        entries = data.get("patterns", [])
+        self.source = source
+        self.patterns = tuple(e["pattern"] for e in entries)
+        self._kernel_safe = tuple(bool(e.get("kernel_safe"))
+                                  for e in entries)
+        self._opaque = tuple(
+            bool(e.get("effects", {}).get("opaque", True))
+            for e in entries)
+        self._regexes = tuple(compile_pattern(p)
+                              for p in self.patterns)
+        pairs = data.get("pairs", {})
+        self._commutes = frozenset(
+            (min(i, j), max(i, j)) for i, j in pairs.get("commutes", ()))
+        self._serialized = frozenset(
+            (min(i, j), max(i, j))
+            for i, j in pairs.get("serialized", ()))
+        self._memo: dict[str, tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def match(self, label: str) -> tuple[int, ...]:
+        """Indices of the patterns matching a normalised label."""
+        found = self._memo.get(label)
+        if found is None:
+            found = tuple(i for i, regex in enumerate(self._regexes)
+                          if regex.match(label))
+            self._memo[label] = found
+        return found
+
+    def classify(self, labels: typing.Sequence[str]
+                 ) -> tuple[bool, bool]:
+        """``(batchable, commutative)`` for a cohort's labels.
+
+        ``labels`` is the cohort's label multiset (duplicates
+        included); the auditor's signature split on its separator is
+        exactly that.
+        """
+        matches = []
+        for label in labels:
+            found = self.match(label)
+            if not found:
+                return (False, False)
+            if not all(self._kernel_safe[i] for i in found):
+                return (False, False)
+            matches.append(found)
+        for found in matches:
+            if any(self._opaque[i] for i in found):
+                return (True, False)
+        for x in range(len(labels)):
+            for y in range(x + 1, len(labels)):
+                for i in matches[x]:
+                    for j in matches[y]:
+                        key = (i, j) if i <= j else (j, i)
+                        if key not in self._commutes:
+                            return (True, False)
+        return (True, True)
+
+    def batchable(self, labels: typing.Sequence[str]) -> bool:
+        return self.classify(labels)[0]
+
+    def commutative(self, labels: typing.Sequence[str]) -> bool:
+        return self.classify(labels)[1]
+
+    def verdict(self, label_a: str, label_b: str) -> str:
+        """Pairwise verdict between two labels (union semantics)."""
+        a, b = self.match(label_a), self.match(label_b)
+        if not a or not b:
+            return CONFLICTS
+        worst = COMMUTES
+        for i in a:
+            for j in b:
+                key = (i, j) if i <= j else (j, i)
+                if key in self._commutes:
+                    continue
+                if key in self._serialized:
+                    worst = SERIALIZED
+                else:
+                    return CONFLICTS
+        return worst
+
+
+def load_table(path: pathlib.Path | str | None = None
+               ) -> CertificateTable:
+    """Load a certificate table (the committed default when ``path``
+    is None)."""
+    table_path = pathlib.Path(path) if path else DEFAULT_TABLE_PATH
+    try:
+        data = json.loads(table_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"certificate table not found at {table_path}; run "
+            f"'python -m repro.analysis.effects --emit-certs --write' "
+            f"to generate it") from None
+    return CertificateTable(data, source=str(table_path))

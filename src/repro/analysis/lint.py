@@ -17,7 +17,12 @@ import sys
 import typing
 
 from repro.analysis.config import LintConfig, load_lint_config
-from repro.analysis.linter import lint_paths
+from repro.analysis.linter import (
+    iter_python_files,
+    lint_paths,
+    stale_suppressions,
+    strip_stale_suppressions,
+)
 from repro.analysis.rules import RULES
 
 
@@ -39,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select", metavar="CODES", default=None,
         help="comma-separated rule codes to run (default: all enabled)")
+    parser.add_argument(
+        "--fix-stale", action="store_true",
+        help="rewrite files in place, stripping suppressions whose "
+             "rule ran but no longer fires")
     return parser
 
 
@@ -74,6 +83,19 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             parser.error(
                 f"unknown rule code(s): {', '.join(sorted(unknown))}")
         rules = [rule for rule in RULES if rule.code in wanted]
+    if args.fix_stale:
+        fixed = 0
+        for path in iter_python_files(paths):
+            source = path.read_text(encoding="utf-8")
+            stale = stale_suppressions(source, path, config, rules)
+            if not stale:
+                continue
+            path.write_text(strip_stale_suppressions(source, stale),
+                            encoding="utf-8")
+            fixed += len(stale)
+            print(f"{path.as_posix()}: stripped {len(stale)} stale "
+                  f"suppression(s)")
+        print(f"{fixed} stale suppression(s) stripped", file=sys.stderr)
     findings = lint_paths(paths, config, rules)
     for finding in findings:
         print(finding.render())

@@ -11,6 +11,16 @@ offending line::
 The comment must carry specific codes (or ``all``); a bare
 ``# repro-lint: disable`` is reported as a malformed suppression so
 typos fail loudly instead of silently keeping a rule on.
+
+Stale suppressions
+------------------
+A suppression whose rule *ran* on the file but no longer fires on that
+line is **stale** — dead armour that would silently swallow a future
+regression.  Stale codes are reported as ``REPRO000`` findings; the
+CLI's ``--fix-stale`` strips them from the source.  Detection is
+conservative: a code is only judged when its rule actually executed
+(enabled, and in scope for the file), and bare ``=all`` suppressions
+are exempt because the rule they meant cannot be known.
 """
 
 from __future__ import annotations
@@ -80,33 +90,134 @@ def _suppressions(source: str, path: pathlib.Path
     return suppressed, malformed
 
 
-def lint_source(source: str, path: pathlib.Path, config: LintConfig,
-                rules: typing.Sequence[Rule] = RULES) -> list[Finding]:
-    """Lint one module's source text."""
+@dataclasses.dataclass(frozen=True)
+class StaleSuppression:
+    """A suppressed code whose rule ran but no longer fires."""
+
+    path: pathlib.Path
+    line: int
+    column: int
+    code: str
+
+    def as_finding(self) -> Finding:
+        return Finding(
+            self.path, self.line, self.column, "REPRO000",
+            f"stale suppression: {self.code} no longer fires on this "
+            f"line; remove it (or run --fix-stale)")
+
+
+def _lint_module(source: str, path: pathlib.Path, config: LintConfig,
+                 rules: typing.Sequence[Rule]
+                 ) -> tuple[list[Finding], list[StaleSuppression]]:
+    """Findings plus the stale suppressions of one module."""
     if config.is_allowed(path):
-        return []
+        return [], []
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as error:
         return [Finding(path, error.lineno or 1,
                         (error.offset or 1) - 1, "REPRO000",
-                        f"syntax error: {error.msg}")]
+                        f"syntax error: {error.msg}")], []
     suppressed, findings = _suppressions(source, path)
     context = ModuleContext(path, tree, config)
+    used: set[tuple[int, str]] = set()
+    ran: set[str] = set()
     for rule in rules:
         if not config.rule_enabled(rule.code):
             continue
         if rule.sim_only and not context.sim_scoped:
             continue
+        ran.add(rule.code)
         for violation in rule.check(context):
             active = suppressed.get(violation.line, frozenset())
-            if violation.code in active or "ALL" in active:
+            if violation.code in active:
+                used.add((violation.line, violation.code))
+                continue
+            if "ALL" in active:
+                used.add((violation.line, "ALL"))
                 continue
             findings.append(Finding(
                 path, violation.line, violation.column,
                 violation.code, violation.message))
     findings.sort(key=lambda f: (f.line, f.column, f.code))
+    stale = []
+    for line in sorted(suppressed):
+        column = _suppression_columns(source, line)
+        for code in sorted(suppressed[line]):
+            if code == "ALL":
+                continue  # which rule it meant is unknowable
+            if code in ran and (line, code) not in used:
+                stale.append(StaleSuppression(path, line, column, code))
+    return findings, stale
+
+
+def _suppression_columns(source: str, line: int) -> int:
+    """Column of the suppression comment on ``line`` (0-based)."""
+    try:
+        text = source.splitlines()[line - 1]
+    except IndexError:  # pragma: no cover - lines come from tokenize
+        return 0
+    match = SUPPRESSION_RE.search(text)
+    return match.start() if match else 0
+
+
+def lint_source(source: str, path: pathlib.Path, config: LintConfig,
+                rules: typing.Sequence[Rule] = RULES) -> list[Finding]:
+    """Lint one module's source text (stale suppressions included)."""
+    findings, stale = _lint_module(source, path, config, rules)
+    findings.extend(s.as_finding() for s in stale)
+    findings.sort(key=lambda f: (f.line, f.column, f.code))
     return findings
+
+
+def stale_suppressions(source: str, path: pathlib.Path,
+                       config: LintConfig,
+                       rules: typing.Sequence[Rule] = RULES
+                       ) -> list[StaleSuppression]:
+    """Only the stale suppressions of one module's source text."""
+    return _lint_module(source, path, config, rules)[1]
+
+
+def strip_stale_suppressions(source: str,
+                             stale: typing.Sequence[StaleSuppression]
+                             ) -> str:
+    """Source with the given stale codes removed.
+
+    A suppression comment keeping at least one live code is rewritten
+    with the survivors; one losing every code is removed, and a line
+    holding nothing else disappears entirely.
+    """
+    dead_by_line: dict[int, set[str]] = {}
+    for item in stale:
+        dead_by_line.setdefault(item.line, set()).add(item.code)
+    out: list[str] = []
+    for number, text in enumerate(source.splitlines(keepends=True), 1):
+        dead = dead_by_line.get(number)
+        if not dead:
+            out.append(text)
+            continue
+        newline = text[len(text.rstrip("\r\n")):]
+        body = text.rstrip("\r\n")
+        match = SUPPRESSION_RE.search(body)
+        if match is None:  # pragma: no cover - stale implies a match
+            out.append(text)
+            continue
+        raw = match.group("codes") or ""
+        keep = [code.strip() for code in raw.split(",")
+                if code.strip() and code.strip().upper() not in dead]
+        if keep:
+            replacement = f"# repro-lint: disable={','.join(keep)}"
+            out.append(body[:match.start()] + replacement
+                       + body[match.end():] + newline)
+            continue
+        before = body[:match.start()].rstrip()
+        after = body[match.end():].strip()
+        if not before and not after:
+            continue  # comment-only line: drop it
+        if after:
+            before = f"{before} {after}" if before else after
+        out.append(before + newline)
+    return "".join(out)
 
 
 def lint_file(path: pathlib.Path, config: LintConfig,

@@ -11,7 +11,7 @@ Scoping
 -------
 ``REPRO001``/``REPRO002`` (host time, host entropy) apply everywhere
 except allowlisted driver files; the container-ordering rules
-(``REPRO003``…\\ ``REPRO006``) apply only inside the simulation
+(``REPRO003``…\\ ``REPRO007``) apply only inside the simulation
 packages named by the config, where event ordering is observable.
 """
 
@@ -457,6 +457,128 @@ def _leading_unsafe_element(node: ast.expr,
     return None
 
 
+# ---------------------------------------------------------------------------
+# REPRO007 — address-bearing formatting / hash-keyed ordering
+# ---------------------------------------------------------------------------
+
+class AddressFormattingRule(Rule):
+    code = "REPRO007"
+    name = "address-formatting"
+    summary = ("formatting a default-__repr__ instance embeds the "
+               "allocator address ('<X object at 0x...>'); key=hash "
+               "orders by id() or the per-process hash seed")
+    sim_only = True
+
+    def check(self, context: ModuleContext
+              ) -> typing.Iterator[Violation]:
+        unsafe = _default_repr_classes(context.tree)
+        bindings = _constructor_bindings(context.tree, unsafe)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.FormattedValue):
+                name = _unsafe_instance(node.value, unsafe, bindings)
+                if name:
+                    yield self.violation(
+                        node.value,
+                        f"f-string interpolates an instance of "
+                        f"{name!r}, whose default __repr__ embeds the "
+                        "allocator address; define __repr__ from "
+                        "stable fields (e.g. a name or serial)")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(node, context, unsafe,
+                                            bindings)
+            elif (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Mod)
+                    and isinstance(node.left, ast.Constant)
+                    and isinstance(node.left.value, str)):
+                values = (node.right.elts
+                          if isinstance(node.right, ast.Tuple)
+                          else [node.right])
+                for value in values:
+                    name = _unsafe_instance(value, unsafe, bindings)
+                    if name:
+                        yield self.violation(
+                            value,
+                            f"%-formatting an instance of {name!r} "
+                            "embeds the allocator address; define "
+                            "__repr__ from stable fields")
+
+    def _check_call(self, node: ast.Call, context: ModuleContext,
+                    unsafe: dict[str, ast.ClassDef],
+                    bindings: dict[str, str]
+                    ) -> typing.Iterator[Violation]:
+        resolved = context.resolve(node.func)
+        if resolved in ("str", "repr", "format") and node.args:
+            name = _unsafe_instance(node.args[0], unsafe, bindings)
+            if name:
+                yield self.violation(
+                    node.args[0],
+                    f"{resolved}() of an instance of {name!r} yields "
+                    "the default address-bearing repr; define "
+                    "__repr__ from stable fields")
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"
+                and isinstance(node.func.value, ast.Constant)
+                and isinstance(node.func.value.value, str)):
+            arguments = list(node.args)
+            arguments.extend(kw.value for kw in node.keywords)
+            for argument in arguments:
+                name = _unsafe_instance(argument, unsafe, bindings)
+                if name:
+                    yield self.violation(
+                        argument,
+                        f"str.format() of an instance of {name!r} "
+                        "yields the default address-bearing repr; "
+                        "define __repr__ from stable fields")
+        for keyword in node.keywords:
+            if (keyword.arg == "key"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id == "hash"
+                    and "hash" not in context.aliases):
+                yield self.violation(
+                    keyword.value,
+                    "key=hash orders by id() for default-__hash__ "
+                    "objects and by the per-process hash seed for "
+                    "strings; key on a stable field instead")
+
+
+def _default_repr_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Module classes that would print as ``<X object at 0x...>``.
+
+    Decorated classes are skipped (a decorator such as ``dataclass``
+    may synthesise ``__repr__``); so are classes with non-``object``
+    bases, whose inherited behaviour is unknowable statically.
+    """
+    unsafe: dict[str, ast.ClassDef] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.decorator_list:
+            continue
+        if any(not (isinstance(base, ast.Name)
+                    and base.id == "object")
+               for base in node.bases):
+            continue
+        defined = {child.name for child in node.body
+                   if isinstance(child,
+                                 (ast.FunctionDef, ast.AsyncFunctionDef))}
+        if not defined & {"__repr__", "__str__", "__format__"}:
+            unsafe[node.name] = node
+    return unsafe
+
+
+def _unsafe_instance(node: ast.expr,
+                     unsafe: dict[str, ast.ClassDef],
+                     bindings: dict[str, str]) -> str | None:
+    """Class name when ``node`` is provably an unsafe-class instance."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in unsafe):
+        return node.func.id
+    if isinstance(node, ast.Name):
+        return bindings.get(node.id)
+    return None
+
+
 #: The registry, in code order.  ``lint_file`` iterates this.
 RULES: tuple[Rule, ...] = (
     HostTimeRule(),
@@ -465,6 +587,7 @@ RULES: tuple[Rule, ...] = (
     UnorderedIterationRule(),
     FloatKeyRule(),
     DefaultHashOrderingRule(),
+    AddressFormattingRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}

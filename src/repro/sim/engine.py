@@ -88,6 +88,11 @@ from repro.sim.process import Process
 #: the cap only bounds pathological fan-out.
 _EVENT_POOL_CAP = 512
 
+#: Sentinel "no active cohort bucket" for the calendar drains: keeps
+#: the hot-loop local non-Optional (mypy strict) with the same
+#: identity test the Optional form would use.  Never mutated.
+_NO_BUCKET: list = []
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
@@ -144,11 +149,13 @@ class Simulator:
         #: sequenced path at every multi-event cohort.
         self._cohort_fire: bool = (
             os.environ.get("REPRO_SCHED_COHORT", "1") != "0")
-        #: Lazily bound signature classifier (repro.analysis.audit) and
-        #: its per-signature verdict cache.
+        #: Lazily bound signature classifier (repro.analysis.audit,
+        #: plus the static certificate table when REPRO_SCHED_CERTS is
+        #: set — see DESIGN.md §12) and its per-signature verdict
+        #: cache.  Verdicts: 0 sequence, 1 batch, 2 batch+cross-check.
         self._cohort_benign_fn: typing.Callable[[list, int, int],
-                                                bool] | None = None
-        self._cohort_cache: dict[str, bool] = {}
+                                                int] | None = None
+        self._cohort_cache: dict[str, int] = {}
         #: Event-tie auditor (``REPRO_AUDIT=1``, see DESIGN.md §8 and
         #: repro.analysis.audit).  Observes same-(time, priority) heap
         #: pops; never changes pop order.  Lazily imported so the
@@ -181,6 +188,14 @@ class Simulator:
         self.sched_sequenced_cohorts = 0
         #: Events parked on the slab pool for reuse.
         self.sched_pool_recycles = 0
+        #: Cohorts batch-fired only because the static certificate
+        #: table vouched for them (``REPRO_SCHED_CERTS``, DESIGN.md
+        #: §12) — the runtime signature gate alone would have
+        #: sequenced them.
+        self.sched_cert_upgrades = 0
+        #: Certified-commutative cohorts fired through the
+        #: cross-checked path (``REPRO_SCHED_CERTS=check``).
+        self.sched_cert_checked = 0
 
     # -- event factories ----------------------------------------------------
 
@@ -258,6 +273,8 @@ class Simulator:
             "sched_cohort_events": self.sched_cohort_events,
             "sched_sequenced_cohorts": self.sched_sequenced_cohorts,
             "sched_event_pool_reuses": self.sched_pool_recycles,
+            "sched_cert_upgrades": self.sched_cert_upgrades,
+            "sched_cert_checked": self.sched_cert_checked,
         }
         calendar = self._calendar
         if calendar is not None:
@@ -515,7 +532,7 @@ class Simulator:
                     self.step()
             normal_setdefault = normal.setdefault
             normal_pop = normal.pop
-            bucket: list | None = None
+            bucket: list = _NO_BUCKET
             index = 1
             size = 1
             running = self.fastpath
@@ -546,12 +563,12 @@ class Simulator:
                             event = bucket[index]
                             index += 1
                         else:
-                            if bucket is not None:
+                            if bucket is not _NO_BUCKET:
                                 if len(bucket_pool) < 64:
                                     del bucket[1:]
                                     bucket[0] = 1
                                     bucket_pool.append(bucket)
-                                bucket = None
+                                bucket = _NO_BUCKET
                             if not calendar.day_mode:
                                 break  # disengaged: back to flat loop
                             when = peek_time()
@@ -567,15 +584,22 @@ class Simulator:
                                 if size - index > 1:
                                     cohorts += 1
                                     cohort_events += size - index
-                                    if not (cohort_fire
-                                            and self._cohort_benign(
-                                                entry, index, size)):
+                                    verdict = (self._cohort_benign(
+                                        entry, index, size)
+                                        if cohort_fire else 0)
+                                    if not verdict:
                                         self.sched_sequenced_cohorts += 1
                                         entry[0] = index
                                         normal[when] = entry
                                         calendar._index_add(when)
                                         index = size = 1
                                         self._fire_time_sequenced(when)
+                                        continue
+                                    if verdict == 2:
+                                        calendar.n_events -= size - index
+                                        self._fire_cohort_checked(
+                                            entry, index, size)
+                                        index = size = 1
                                         continue
                                 calendar.n_events -= size - index
                                 bucket = entry
@@ -647,12 +671,12 @@ class Simulator:
                         event = bucket[index]
                         index += 1
                     else:
-                        if bucket is not None:
+                        if bucket is not _NO_BUCKET:
                             if len(bucket_pool) < 64:
                                 del bucket[1:]
                                 bucket[0] = 1
                                 bucket_pool.append(bucket)
-                            bucket = None
+                            bucket = _NO_BUCKET
                         if calendar.day_mode:
                             # A callback-driven insert engaged the day
                             # index mid-loop.  _engage_days clears the
@@ -677,9 +701,10 @@ class Simulator:
                             if size - index > 1:
                                 cohorts += 1
                                 cohort_events += size - index
-                                if not (cohort_fire
-                                        and self._cohort_benign(
-                                            entry, index, size)):
+                                verdict = (self._cohort_benign(
+                                    entry, index, size)
+                                    if cohort_fire else 0)
+                                if not verdict:
                                     # Suspect signature (or gate off):
                                     # replay through the generic
                                     # per-event path, which re-consults
@@ -692,6 +717,16 @@ class Simulator:
                                     heappush(times, when)
                                     index = size = 1
                                     self._fire_time_sequenced(when)
+                                    continue
+                                if verdict == 2:
+                                    # Certified-commutative cohort under
+                                    # REPRO_SCHED_CERTS=check: batch in
+                                    # order, attributing kernel-object
+                                    # traffic per member.
+                                    calendar.n_events -= size - index
+                                    self._fire_cohort_checked(
+                                        entry, index, size)
+                                    index = size = 1
                                     continue
                             # The whole cohort leaves the pending count
                             # now, like a heap pop — its members fire
@@ -752,22 +787,32 @@ class Simulator:
         while urgent or calendar.peek_time() == when:
             self.step()
 
-    def _cohort_benign(self, bucket: list, start: int, end: int) -> bool:
-        """Is this multi-event cohort eligible for batch firing?
+    def _cohort_benign(self, bucket: list, start: int, end: int) -> int:
+        """Cohort gate verdict: how may this multi-event cohort fire?
+
+        * ``0`` — sequence through the generic per-event path.
+        * ``1`` — batch-fire via the local bucket walk.
+        * ``2`` — batch-fire with the per-member kernel-object
+          cross-check (:meth:`_fire_cohort_checked`).
 
         Reuses the tie auditor's site classification (DESIGN.md §8 and
         §11): the sorted set of normalised event labels forms the
         cohort's signature; single-label cohorts, cohorts of
         accounted-for kernel labels (``DEFAULT_BENIGN_LABELS``) and
-        ``REPRO_AUDIT_ALLOW``-matched signatures are benign.  Verdicts
-        are cached per signature.
+        ``REPRO_AUDIT_ALLOW``-matched signatures are benign.  With
+        ``REPRO_SCHED_CERTS`` set, the static certificate table
+        (repro.analysis.effects, DESIGN.md §12) additionally upgrades
+        statically *batchable* cohorts the runtime gate would have
+        sequenced, and — in ``check`` mode — routes certified-
+        *commutative* cohorts through the cross-checked path.
+        Verdicts are cached per signature.
         """
         benign = self._cohort_benign_fn
         if benign is None:
             benign = self._init_cohort_gate()
         return benign(bucket, start, end)
 
-    def _init_cohort_gate(self) -> typing.Callable[[list, int, int], bool]:
+    def _init_cohort_gate(self) -> typing.Callable[[list, int, int], int]:
         # Lazily imported on the first multi-event cohort, so the
         # analysis package costs nothing before that.
         from repro.analysis.audit import (
@@ -779,14 +824,34 @@ class Simulator:
         raw = os.environ.get("REPRO_AUDIT_ALLOW", "")
         allow = tuple(part.strip() for part in raw.split(";")
                       if part.strip())
+        # REPRO_SCHED_CERTS: unset/"0" off; "1" the committed table;
+        # "check" the committed table with runtime cross-checking;
+        # "check:<path>"/<path> an explicit table file.
+        certs = os.environ.get("REPRO_SCHED_CERTS", "").strip()
+        table = None
+        check_mode = False
+        if certs and certs != "0":
+            from repro.analysis.effects import load_table
+            path: str | None = None
+            if certs == "1":
+                pass
+            elif certs == "check":
+                check_mode = True
+            elif certs.startswith("check:"):
+                check_mode = True
+                path = certs[len("check:"):]
+            else:
+                path = certs
+            table = load_table(path)
         cache = self._cohort_cache
+        sim = self
 
         # Raw label -> normalised label memo: label extraction runs per
         # cohort event, but the distinct label population is bounded by
         # the process/resource count, so the regex runs once per label.
         norm_memo: dict[str, str] = {}
 
-        def benign(bucket: list, start: int, end: int) -> bool:
+        def benign(bucket: list, start: int, end: int) -> int:
             # Homogeneous fast path: cohorts whose members all carry
             # one normalised label are benign by definition (symmetric
             # peers) — no signature set/sort/join, just per-member
@@ -807,17 +872,114 @@ class Simulator:
                 elif norm != first:
                     normalised = {first, norm}
             if normalised is None:
-                return True
+                return 1
             labels = sorted(normalised)
             signature = SEPARATOR.join(labels)
+            # Cached verdicts carry the upgrade provenance: 3/4 are
+            # the cert-upgraded variants of batch/checked, folded to
+            # 1/2 after per-cohort accounting.
             verdict = cache.get(signature)
             if verdict is None:
-                verdict = cache[signature] = signature_is_benign(
+                runtime = signature_is_benign(
                     labels, signature, benign_signatures=allow)
+                if table is None:
+                    verdict = 1 if runtime else 0
+                else:
+                    batchable, commutative = table.classify(labels)
+                    upgraded = batchable and not runtime
+                    if check_mode and commutative:
+                        verdict = 4 if upgraded else 2
+                    elif runtime or batchable:
+                        verdict = 3 if upgraded else 1
+                    else:
+                        verdict = 0
+                cache[signature] = verdict
+            if verdict >= 3:
+                sim.sched_cert_upgrades += 1
+                return verdict - 2
             return verdict
 
         self._cohort_benign_fn = benign
         return benign
+
+    def _fire_cohort_checked(self, bucket: list, start: int,
+                             end: int) -> None:
+        """Batch-fire a certified-commutative cohort, cross-checking
+        the certificate against observed kernel-object traffic.
+
+        Members fire in the same order as the batch walk, with the
+        urgent lane drained between members exactly like the inlined
+        drains — but every urgent event (resource grants, store
+        handoffs, hold re-keys) is attributed to the cohort member
+        whose fire produced it, via the bound-method owner of its
+        first callback.  One kernel object surfacing under two
+        distinct members means the members interacted through queue
+        state the certificate called disjoint: the run aborts with a
+        structured :class:`repro.analysis.effects.CertificateError`
+        (the scheduler analogue of a repro.verify invariant failure).
+        This is a detector for certificate bugs, not a prover —
+        conflicts through plain attribute state are not observable
+        from the kernel.
+        """
+        calendar = self._calendar
+        assert calendar is not None
+        urgent = self._urgent
+        crashed = self._crashed
+        # Labels are captured before any member fires: firing clears
+        # an event's callbacks, which is exactly what labelling reads.
+        from repro.analysis.audit import event_label
+        labels = [event_label(bucket[k]) for k in range(start, end)]
+        # Keyed by the kernel object itself (identity hash): membership
+        # is all that matters, never order, and the strong reference
+        # pins the object for the cohort's duration.
+        owners: dict[object, int] = {}
+        for position in range(start, end):
+            member = bucket[position]
+            member._fire()
+            self.events_fired += 1
+            if crashed:
+                raise crashed[0].crash_error
+            while urgent:
+                pending = urgent.popleft()
+                callbacks = pending.callbacks
+                owner = (getattr(callbacks[0], "__self__", None)
+                         if callbacks else None)
+                if owner is not None:
+                    seen = owners.get(owner)
+                    if seen is None:
+                        owners[owner] = position
+                    elif seen != position:
+                        self._certificate_conflict(
+                            labels, seen - start, position - start,
+                            owner)
+                hold = pending._hold
+                if hold is not None:
+                    pending._hold = None
+                    calendar.insert(self.now + hold, PRIORITY_NORMAL,
+                                    pending)
+                    self.fastpath_holds += 1
+                    continue
+                pending._fired = True
+                if callbacks:
+                    pending.callbacks = []
+                    for callback in callbacks:
+                        callback(pending)
+                self.events_fired += 1
+                if crashed:
+                    raise crashed[0].crash_error
+        self.sched_cert_checked += 1
+
+    def _certificate_conflict(self, labels: list[str], first: int,
+                              second: int,
+                              owner: object) -> typing.NoReturn:
+        """Raise the structured certified-but-conflicting error."""
+        from repro.analysis.audit import SEPARATOR, normalise
+        from repro.analysis.effects import CertificateError
+        signature = SEPARATOR.join(
+            sorted({normalise(label) for label in labels}))
+        raise CertificateError(
+            signature, self.now, repr(owner),
+            (labels[first], labels[second]))
 
     def _run_audited(self, until: float | None = None) -> None:
         """step()-based run loop used when the tie auditor is on.

@@ -59,7 +59,9 @@ class Resource:
         #: at kernel rate by the cohort-fire gate.
         self.audit_label = f"{type(self).__name__.lower()}:{name}"
         self._in_use = 0
-        self._waiting: collections.deque[tuple[Event, Grant]] = (
+        #: FIFO of (event, grant) waiters; fast-path holds queue with
+        #: a None grant (release is inline, no token to return).
+        self._waiting: collections.deque[tuple[Event, Grant | None]] = (
             collections.deque())
         # Statistics
         self.busy_time = 0.0

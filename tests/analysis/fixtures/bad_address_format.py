@@ -1,0 +1,17 @@
+"""REPRO007 bad cases: address-bearing formatting and key=hash."""
+
+
+class Operator:
+    def __init__(self, node):
+        self.node = node
+
+
+def report(items):
+    op = Operator(3)
+    a = f"running {op}"                     # line 11: REPRO007
+    b = "op is %s" % op                     # line 12: REPRO007
+    c = "{}".format(Operator(1))            # line 13: REPRO007
+    d = str(op)                             # line 14: REPRO007
+    e = repr(Operator(2))                   # line 15: REPRO007
+    f = sorted(items, key=hash)             # line 16: REPRO007
+    return a, b, c, d, e, f

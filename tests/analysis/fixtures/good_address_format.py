@@ -1,0 +1,18 @@
+"""REPRO007 good cases: stable reprs, stable fields, explicit keys."""
+
+
+class Labelled:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"<Labelled {self.name}>"
+
+
+def report(items):
+    tagged = Labelled("probe")
+    a = f"running {tagged}"        # class defines __repr__
+    b = str(tagged.name)           # stable field, not the instance
+    c = sorted(items, key=len)     # explicit deterministic key
+    d = "{}".format(tagged)
+    return a, b, c, d

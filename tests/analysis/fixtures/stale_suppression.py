@@ -1,0 +1,9 @@
+"""Suppressions whose rules ran but no longer fire — stale REPRO000s."""
+
+import time
+
+
+def stamp():
+    a = time.time()  # repro-lint: disable=REPRO001,REPRO003
+    b = 3  # repro-lint: disable=REPRO003
+    return a, b

@@ -14,4 +14,5 @@ def stamp(d, items):
     table = {  # noqa
         2.5: "x",  # repro-lint: disable=REPRO005
     }
-    return a, b, c, table
+    e = sorted(items, key=hash)  # repro-lint: disable=REPRO007
+    return a, b, c, e, table

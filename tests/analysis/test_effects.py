@@ -1,0 +1,219 @@
+"""Units for the effect analyzer: pattern algebra, name templates,
+effect lattice, pairwise verdicts, and footprint extraction."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.analysis.effects.analyzer import analyse_paths
+from repro.analysis.effects.model import (
+    COMMUTES,
+    CONFLICTS,
+    SERIALIZED,
+    EffectSummary,
+    compile_pattern,
+    pair_verdict,
+    patterns_overlap,
+)
+from repro.analysis.effects.sites import name_template, pattern_of
+
+WORKLOADS = pathlib.Path(__file__).parent / "workloads.py"
+
+
+# -- pattern algebra --------------------------------------------------------
+
+class TestCompilePattern:
+    def test_exact_anchored(self):
+        regex = compile_pattern("process:alpha")
+        assert regex.match("process:alpha")
+        assert not regex.match("process:alphabet")
+        assert not regex.match("done:alpha")
+
+    def test_wildcard_spans_anything(self):
+        regex = compile_pattern("process:*.build[*]")
+        assert regex.match("process:grace.b#.build[#]")
+        assert regex.match("process:hybrid.formR.build[#]")
+        assert not regex.match("process:grace.probe[#]")
+
+    def test_regex_metacharacters_are_literal(self):
+        # fnmatch would choke on the [..] — the hand compiler must not.
+        regex = compile_pattern("process:probe[#]")
+        assert regex.match("process:probe[#]")
+        assert not regex.match("process:probeX")
+
+
+class TestPatternsOverlap:
+    def test_identical(self):
+        assert patterns_overlap("store:box", "store:box")
+
+    def test_disjoint_literals(self):
+        assert not patterns_overlap("store:alpha-box", "store:beta-box")
+
+    def test_wildcard_against_literal(self):
+        assert patterns_overlap("attr:*.count", "attr:Alpha.count")
+        assert not patterns_overlap("attr:*.count", "attr:Alpha.trace")
+
+    def test_both_wildcarded_is_conservative(self):
+        assert patterns_overlap("attr:*.count", "attr:Alpha.*")
+
+
+# -- name templates ---------------------------------------------------------
+
+def _expr(text: str) -> ast.expr:
+    return ast.parse(text, mode="eval").body
+
+
+class TestNameTemplate:
+    def test_constant_normalises_digits(self):
+        assert pattern_of(_expr("'disk12.cpu'")) == "disk#.cpu"
+
+    def test_fstring_fields_widen_to_star(self):
+        assert pattern_of(_expr("f'{label}.build'")) == "*.build"
+
+    def test_param_field_becomes_hole(self):
+        template = name_template(_expr("f'{name}[{index}]'"),
+                                 params=("name", "index"))
+        assert template.param == "name"
+        assert template.concrete() == "*[*]"
+        assert template.substitute("*.build") == "*.build[*]"
+
+    def test_bare_param_is_a_full_hole(self):
+        template = name_template(_expr("name"), params=("name",))
+        assert template.substitute("probe-#") == "probe-#"
+
+    def test_unknown_expression_is_star(self):
+        assert pattern_of(_expr("compute()")) == "*"
+
+    def test_star_runs_collapse(self):
+        template = name_template(_expr("f'{a}{b}-x'"), params=())
+        assert template.concrete() == "*-x"
+
+
+# -- the effect lattice -----------------------------------------------------
+
+class TestEffectSummary:
+    def test_join_is_monotone(self):
+        left = EffectSummary(writes={"attr:A.x"})
+        right = EffectSummary(reads={"attr:B.y"}, schedules=True)
+        assert left.join(right) is True
+        assert left.writes == {"attr:A.x"}
+        assert left.reads == {"attr:B.y"}
+        assert left.schedules
+        assert left.join(right) is False  # already absorbed
+
+    def test_round_trip_json(self):
+        summary = EffectSummary(reads={"attr:A.x"}, queues={"store:b"},
+                                rng=True)
+        clone = EffectSummary.from_json(summary.to_json())
+        assert clone.reads == summary.reads
+        assert clone.queues == summary.queues
+        assert clone.rng and not clone.opaque
+
+    def test_kernel_safety(self):
+        assert EffectSummary().kernel_safe
+        tainted = EffectSummary(unsafe=("calls sim.run",))
+        assert not tainted.kernel_safe
+
+
+class TestPairVerdict:
+    def test_disjoint_writes_commute(self):
+        a = EffectSummary(writes={"attr:A.x"}, queues={"store:a"})
+        b = EffectSummary(writes={"attr:B.x"}, queues={"store:b"})
+        assert pair_verdict(a, b) == COMMUTES
+
+    def test_write_read_overlap_conflicts(self):
+        a = EffectSummary(writes={"attr:A.x"})
+        b = EffectSummary(reads={"attr:A.x"})
+        assert pair_verdict(a, b) == CONFLICTS
+
+    def test_store_overlap_conflicts(self):
+        a = EffectSummary(queues={"store:shared"})
+        b = EffectSummary(queues={"store:shared"})
+        assert pair_verdict(a, b) == CONFLICTS
+
+    def test_resource_overlap_serialises(self):
+        a = EffectSummary(queues={"resource:disk#.arm"})
+        b = EffectSummary(queues={"resource:disk#.arm"})
+        assert pair_verdict(a, b) == SERIALIZED
+
+    def test_opaque_is_top(self):
+        assert pair_verdict(EffectSummary(opaque=True),
+                            EffectSummary()) == CONFLICTS
+
+    def test_shared_rng_stream_conflicts(self):
+        assert pair_verdict(EffectSummary(rng=True),
+                            EffectSummary(rng=True)) == CONFLICTS
+
+
+# -- whole-module footprint extraction --------------------------------------
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyse_paths([WORKLOADS])
+
+
+class TestWorkloadAnalysis:
+    def test_spawn_sites_attributed(self, analysis):
+        assert {"process:alpha", "process:beta", "process:noisy-put",
+                "process:noisy-get"} <= set(analysis.sites)
+        site = analysis.sites["process:alpha"]
+        assert site.resolved
+        assert any(qn.endswith("AlphaWorker.pump")
+                   for qn in site.callables)
+
+    def test_footprints_are_precise(self, analysis):
+        alpha = analysis.site_summaries["process:alpha"]
+        assert not alpha.opaque
+        assert alpha.writes == {"attr:AlphaWorker.count",
+                                "attr:AlphaWorker.trace"}
+        assert alpha.queues == {"store:alpha-box"}
+        assert alpha.schedules
+
+    def test_shared_store_footprint(self, analysis):
+        put = analysis.site_summaries["process:noisy-put"]
+        get = analysis.site_summaries["process:noisy-get"]
+        assert put.queues == get.queues == {"store:shared-box"}
+
+    def test_queue_construction_sites(self, analysis):
+        assert {"store:alpha-box", "store:beta-box",
+                "store:shared-box"} <= set(analysis.sites)
+
+    def test_workloads_are_kernel_safe(self, analysis):
+        assert analysis.sites_kernel_safe
+        assert not analysis.unsafe
+
+    def test_done_sites_are_opaque_suspects(self, analysis):
+        suspects = analysis.suspects()
+        assert "opaque-site:done:alpha" in suspects
+        assert not any(s.startswith("unsafe:") for s in suspects)
+
+
+class TestKernelSafetyDetection:
+    def test_driving_the_scheduler_is_unsafe(self, tmp_path):
+        victim = tmp_path / "victim.py"
+        victim.write_text(
+            "class Driver:\n"
+            "    def __init__(self, sim):\n"
+            "        self.sim = sim\n"
+            "    def nested(self):\n"
+            "        self.sim.run()\n"
+            "        yield self.sim.timeout(1.0)\n"
+            "    def start(self):\n"
+            "        self.sim.process(self.nested(), name='nested')\n",
+            encoding="utf-8")
+        analysis = analyse_paths([victim])
+        assert any("run" in " ".join(reasons)
+                   for reasons in analysis.unsafe.values())
+        assert not analysis.sites_kernel_safe
+
+    def test_touching_kernel_privates_is_unsafe(self, tmp_path):
+        victim = tmp_path / "victim.py"
+        victim.write_text(
+            "def peek(sim):\n"
+            "    return len(sim._heap)\n",
+            encoding="utf-8")
+        analysis = analyse_paths([victim])
+        assert analysis.unsafe

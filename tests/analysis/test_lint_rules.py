@@ -31,6 +31,7 @@ BAD_CASES = [
     ("bad_set_iter.py", ["REPRO004"] * 4),
     ("bad_float_keys.py", ["REPRO005"] * 4),
     ("bad_default_hash.py", ["REPRO006"] * 5),
+    ("bad_address_format.py", ["REPRO007"] * 6),
 ]
 
 GOOD_FIXTURES = [
@@ -39,6 +40,7 @@ GOOD_FIXTURES = [
     "good_set_iter.py",
     "good_float_keys.py",
     "good_default_hash.py",
+    "good_address_format.py",
     "suppressed.py",
     "allowlisted.py",
 ]
@@ -88,6 +90,61 @@ def test_disable_turns_a_rule_off_globally():
     config = LintConfig(sim_packages=("fixtures",), allow=(),
                         disable=("REPRO004",))
     assert codes(FIXTURES / "bad_set_iter.py", config) == []
+
+
+def test_stale_suppressions_are_reported():
+    findings = lint_file(FIXTURES / "stale_suppression.py", CONFIG)
+    assert [f.code for f in findings] == ["REPRO000", "REPRO000"]
+    assert all("stale suppression: REPRO003" in f.message
+               for f in findings)
+
+
+def test_live_suppressions_are_not_stale():
+    from repro.analysis import stale_suppressions
+    path = FIXTURES / "suppressed.py"
+    assert stale_suppressions(
+        path.read_text(encoding="utf-8"), path, CONFIG) == []
+
+
+def test_out_of_scope_suppression_is_not_judged():
+    """A sim-only rule that never ran cannot declare its
+    suppressions stale."""
+    from repro.analysis import stale_suppressions
+    config = LintConfig(sim_packages=("somewhere/else",), allow=())
+    path = FIXTURES / "stale_suppression.py"
+    assert stale_suppressions(
+        path.read_text(encoding="utf-8"), path, config) == []
+
+
+def test_strip_stale_suppressions_rewrites_minimally():
+    from repro.analysis import stale_suppressions, strip_stale_suppressions
+    path = FIXTURES / "stale_suppression.py"
+    source = path.read_text(encoding="utf-8")
+    stale = stale_suppressions(source, path, CONFIG)
+    fixed = strip_stale_suppressions(source, stale)
+    # The live REPRO001 suppression survives; the stale codes are gone.
+    assert "# repro-lint: disable=REPRO001\n" in fixed
+    assert "REPRO003" not in fixed
+    assert "b = 3\n" in fixed
+    # The fixed source is clean and has no stale suppressions left.
+    from repro.analysis.linter import lint_source
+    assert [f.code for f in lint_source(fixed, path, CONFIG)] == []
+
+
+def test_fix_stale_cli_round_trip(tmp_path):
+    from repro.analysis.lint import main
+    victim = tmp_path / "victim.py"
+    victim.write_text(
+        "import time\n"
+        "a = time.time()  # repro-lint: disable=REPRO001\n"
+        "b = 3  # repro-lint: disable=REPRO001\n",
+        encoding="utf-8")
+    # Stale report (exit 1: the stale REPRO000 finding), then fix.
+    assert main(["--no-config", str(victim)]) == 1
+    assert main(["--no-config", "--fix-stale", str(victim)]) == 0
+    text = victim.read_text(encoding="utf-8")
+    assert "b = 3\n" in text and text.count("repro-lint") == 1
+    assert main(["--no-config", str(victim)]) == 0
 
 
 def test_repo_tree_is_lint_clean():

@@ -1,0 +1,91 @@
+"""Workloads that are both *imported* and *analyzed* by the tests.
+
+``tests/analysis/test_certificates.py`` feeds this file's source to the
+effect analyzer (to derive commutativity certificates about it) and
+imports it to actually run the workloads on the simulator — keeping
+the statically analyzed code and the dynamically exercised code
+literally the same bytes.
+
+* :class:`AlphaWorker` / :class:`BetaWorker` touch disjoint state
+  (their own counter, their own mailbox): the analyzer must certify
+  the ``process:alpha`` × ``process:beta`` pair commutative, and the
+  order-swap property test must observe bit-identical traces.
+* :class:`NoisyPair` interacts through one shared mailbox: the
+  known-conflicting pair that must provably NOT be certified — its
+  put side observes ``waiting_getters``, which genuinely depends on
+  the firing order of same-instant cohort members.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Simulator, Store
+
+
+class AlphaWorker:
+    """Writes only its own counter, trace, and mailbox."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.box = Store(sim, name="alpha-box")
+        self.count = 0
+        self.trace: list[tuple[float, int]] = []
+
+    def start(self) -> None:
+        self.sim.process(self.pump(), name="alpha")
+
+    def pump(self) -> typing.Generator:
+        for beat in range(4):
+            yield self.sim.timeout(1.0)
+            self.box.put(beat)
+            self.count += 1
+            self.trace.append((self.sim.now, self.count))
+
+
+class BetaWorker:
+    """Symmetric peer of AlphaWorker with disjoint state."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.box = Store(sim, name="beta-box")
+        self.count = 0
+        self.trace: list[tuple[float, int]] = []
+
+    def start(self) -> None:
+        self.sim.process(self.pump(), name="beta")
+
+    def pump(self) -> typing.Generator:
+        for beat in range(4):
+            yield self.sim.timeout(1.0)
+            self.box.put(beat)
+            self.count += 1
+            self.trace.append((self.sim.now, self.count))
+
+
+class NoisyPair:
+    """Two processes coupled through one shared mailbox."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.shared = Store(sim, name="shared-box")
+        self.log: list[tuple[float, int]] = []
+
+    def start(self) -> None:
+        self.sim.process(self.put_side(), name="noisy-put")
+        self.sim.process(self.get_side(), name="noisy-get")
+
+    def put_side(self) -> typing.Generator:
+        for beat in range(4):
+            yield self.sim.timeout(1.0)
+            # Order-sensitive observation: whether the getter is
+            # already queued depends on which cohort member fired
+            # first at this instant.
+            self.log.append((self.sim.now, self.shared.waiting_getters))
+            self.shared.put(beat)
+
+    def get_side(self) -> typing.Generator:
+        for _ in range(4):
+            yield self.sim.timeout(1.0)
+            item = yield self.shared.get()
+            self.log.append((self.sim.now, item))

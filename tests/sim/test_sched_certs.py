@@ -1,0 +1,159 @@
+"""The REPRO_SCHED_CERTS scheduler gate: upgrades, cross-checks, and
+the certified-but-conflicting error witness.
+
+The fig-5 workloads never exercise these paths (their runtime gate
+never sequences a cohort), so the tests drive them with hand-written
+certificate tables and minimal kernels:
+
+* an *upgrade* needs a cohort the runtime signature gate would
+  sequence — two custom-owner labels outside ``DEFAULT_BENIGN_LABELS``
+  — that the table certifies batchable;
+* the *error witness* needs a certified-commutative cohort whose
+  members observably share a kernel object — two processes granted
+  the same capacity-2 Resource at one instant.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.effects import CertificateError
+from repro.sim import Resource, Simulator
+
+
+def _write_table(tmp_path, patterns, commutes):
+    """A minimal hand-written certificate table file."""
+    data = {
+        "version": 1,
+        "patterns": [{"pattern": p, "kernel_safe": True,
+                      "effects": {"opaque": False}} for p in patterns],
+        "pairs": {"commutes": commutes, "serialized": []},
+    }
+    path = tmp_path / "certs.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return path
+
+
+class Actor:
+    """Event owner whose label (``actor:<name>``) is not in the
+    runtime gate's benign-label classes."""
+
+    def __init__(self, name):
+        self.name = name
+        self.fired = []
+
+    def on_fire(self, event):
+        self.fired.append(event.sim.now)
+
+
+def _run_actors(monkeypatch, certs):
+    monkeypatch.setenv("REPRO_SCHED", "calendar")
+    if certs is None:
+        monkeypatch.delenv("REPRO_SCHED_CERTS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_SCHED_CERTS", certs)
+    sim = Simulator()
+    actors = [Actor("a"), Actor("b")]
+    for actor in actors:
+        for delay in (1.0, 2.0):
+            event = sim.timeout(delay)
+            event.callbacks.append(actor.on_fire)
+    sim.run()
+    return sim, actors
+
+
+class TestCertifiedUpgrade:
+    def test_suspect_signature_sequences_without_certs(self,
+                                                       monkeypatch):
+        sim, actors = _run_actors(monkeypatch, None)
+        assert sim.sched_cert_upgrades == 0
+        assert sim.sched_cert_checked == 0
+        assert [a.fired for a in actors] == [[1.0, 2.0], [1.0, 2.0]]
+
+    def test_certified_cohorts_batch_with_identical_trace(
+            self, monkeypatch, tmp_path):
+        path = _write_table(tmp_path, ["actor:*"], [[0, 0]])
+        baseline, base_actors = _run_actors(monkeypatch, None)
+        sim, actors = _run_actors(monkeypatch, str(path))
+        # One upgrade per distinct-time cohort the gate would have
+        # sequenced (t=1 and t=2; the verdict cache keeps it per
+        # cohort, not per signature).
+        assert sim.sched_cert_upgrades == 2
+        assert [a.fired for a in actors] == [
+            a.fired for a in base_actors]
+        assert (sim.now, sim.events_fired) == (
+            baseline.now, baseline.events_fired)
+
+    def test_check_mode_routes_through_cross_check(self, monkeypatch,
+                                                   tmp_path):
+        path = _write_table(tmp_path, ["actor:*"], [[0, 0]])
+        sim, actors = _run_actors(monkeypatch, f"check:{path}")
+        assert sim.sched_cert_checked == 2
+        assert sim.sched_cert_upgrades == 2
+        assert actors[0].fired == [1.0, 2.0]
+
+    def test_counters_are_exported(self, monkeypatch):
+        sim, _ = _run_actors(monkeypatch, None)
+        counters = sim.kernel_counters()
+        assert counters["sched_cert_upgrades"] == 0
+        assert counters["sched_cert_checked"] == 0
+
+
+def _holder(sim, resource, delay):
+    yield sim.timeout(delay)
+    yield from resource.use(0.25)
+
+
+class TestRuntimeCrossCheck:
+    def test_disjoint_resources_pass_the_check(self, monkeypatch,
+                                               tmp_path):
+        path = _write_table(tmp_path, ["process:*"], [[0, 0]])
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        monkeypatch.setenv("REPRO_SCHED_CERTS", f"check:{path}")
+        sim = Simulator()
+        res_a = Resource(sim, capacity=1, name="arm-a")
+        res_c = Resource(sim, capacity=1, name="arm-c")
+        sim.process(_holder(sim, res_a, 1.0), name="a")
+        sim.process(_holder(sim, res_c, 1.0), name="c")
+        sim.run()
+        assert sim.sched_cert_checked >= 1
+        assert res_a.total_acquisitions == 1
+        assert res_c.total_acquisitions == 1
+
+    def test_shared_resource_trips_certificate_error(self, monkeypatch,
+                                                     tmp_path):
+        """A bogus table certifying a genuinely serialized pair as
+        commutative: both members are granted the same Resource inside
+        one checked batch, so the cross-check must abort."""
+        path = _write_table(tmp_path, ["process:*"], [[0, 0]])
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        monkeypatch.setenv("REPRO_SCHED_CERTS", f"check:{path}")
+        sim = Simulator()
+        shared = Resource(sim, capacity=2, name="shared")
+        sim.process(_holder(sim, shared, 1.0), name="a")
+        sim.process(_holder(sim, shared, 1.0), name="c")
+        with pytest.raises(CertificateError) as excinfo:
+            sim.run()
+        error = excinfo.value
+        assert error.signature == "process:a + process:c"
+        assert error.when == 1.0
+        assert "Resource 'shared'" in error.owner
+        assert error.members == ("process:a", "process:c")
+
+    def test_same_workload_is_fine_without_check_mode(self,
+                                                      monkeypatch,
+                                                      tmp_path):
+        """The conflicting-table workload itself is legal (the batch
+        walk preserves order) — only the certificate is wrong, which
+        is exactly what check mode exists to catch."""
+        path = _write_table(tmp_path, ["process:*"], [[0, 0]])
+        monkeypatch.setenv("REPRO_SCHED", "calendar")
+        monkeypatch.setenv("REPRO_SCHED_CERTS", str(path))
+        sim = Simulator()
+        shared = Resource(sim, capacity=2, name="shared")
+        sim.process(_holder(sim, shared, 1.0), name="a")
+        sim.process(_holder(sim, shared, 1.0), name="c")
+        sim.run()
+        assert shared.total_acquisitions == 2
