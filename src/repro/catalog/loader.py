@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
+from repro.catalog.pages import ColumnPage
 from repro.catalog.partitioning import PartitioningStrategy
 from repro.catalog.relation import Relation
 from repro.catalog.schema import Schema
@@ -48,11 +51,30 @@ def load_relation(name: str, schema: Schema, rows: typing.Iterable[Row],
     """
     if num_sites < 1:
         raise ValueError(f"num_sites must be >= 1, got {num_sites}")
-    materialized = list(rows)
+    materialized: typing.Sequence[Row]
+    if isinstance(rows, ColumnPage):
+        materialized = rows
+    else:
+        materialized = list(rows)
     if validate:
         for row in materialized:
             schema.validate_row(row)
     strategy.begin_load(schema, materialized, num_sites)
+    if isinstance(materialized, ColumnPage):
+        sites = strategy.sites_of(materialized, schema, num_sites)
+        if sites is not None:
+            if len(sites) and not (0 <= int(sites.min())
+                                   and int(sites.max()) < num_sites):
+                bad = int(sites.min()) if int(sites.min()) < 0 \
+                    else int(sites.max())
+                raise ValueError(
+                    f"strategy {strategy.describe()} placed a tuple on "
+                    f"site {bad}, outside [0, {num_sites})")
+            page_fragments = [
+                materialized.take(np.flatnonzero(sites == site))
+                for site in range(num_sites)]
+            return Relation(name, schema, page_fragments,
+                            partitioning=strategy)
     fragments: list[list[Row]] = [[] for _ in range(num_sites)]
     for row in materialized:
         site = strategy.site_of(row, schema, num_sites)

@@ -24,10 +24,15 @@ from __future__ import annotations
 import bisect
 import typing
 
+import numpy as np
+
 from repro import hashing
+from repro.catalog.pages import ColumnPage
 from repro.catalog.schema import Schema
 
 Row = typing.Tuple
+#: numpy arrays are opaque to the type checker (no bundled stubs).
+Array = typing.Any
 
 
 class PartitioningStrategy:
@@ -49,6 +54,15 @@ class PartitioningStrategy:
         """Storage site in ``[0, num_sites)`` for ``row``."""
         raise NotImplementedError
 
+    def sites_of(self, page: ColumnPage, schema: Schema,
+                 num_sites: int) -> Array | None:
+        """Whole-page site assignment, bit-identical to calling
+        :meth:`site_of` row by row (including any per-call state
+        advancement), or None when this strategy/column cannot be
+        vectorized — the loader then falls back to the scalar path.
+        """
+        return None
+
     def describe(self) -> str:
         raise NotImplementedError
 
@@ -67,6 +81,13 @@ class RoundRobinPartitioning(PartitioningStrategy):
         site = self._next
         self._next = (self._next + 1) % num_sites
         return site
+
+    def sites_of(self, page: ColumnPage, schema: Schema,
+                 num_sites: int) -> Array:
+        n = len(page)
+        sites = (self._next + np.arange(n, dtype=np.int64)) % num_sites
+        self._next = (self._next + n) % num_sites
+        return sites
 
     def describe(self) -> str:
         return "round-robin"
@@ -87,6 +108,19 @@ class HashPartitioning(PartitioningStrategy):
         index = (schema.index_of(self.attribute)
                  if self._index is None else self._index)
         return hashing.hash_value(row[index]) % num_sites
+
+    def sites_of(self, page: ColumnPage, schema: Schema,
+                 num_sites: int) -> Array | None:
+        column = page.column_array(schema.index_of(self.attribute))
+        if column is None:
+            return None  # non-integer key column: scalar fallback
+        # (v * mult) & MASK in uint64 wraps modulo 2**64, congruent
+        # modulo 2**32 to hashing.hash_int for any 64-bit key (the
+        # repro.core.kernels.hash_keys parity argument).
+        mult = np.uint64(hashing.level_multiplier(0))
+        mask = np.uint64(hashing.HASH_MODULUS - 1)
+        hashes = (column.astype(np.uint64) * mult) & mask
+        return (hashes % np.uint64(num_sites)).astype(np.int64)
 
     def describe(self) -> str:
         return f"hashed({self.attribute})"
@@ -126,6 +160,16 @@ class RangeKeyPartitioning(PartitioningStrategy):
                  if self._index is None else self._index)
         return bisect.bisect_right(self.boundaries, row[index])
 
+    def sites_of(self, page: ColumnPage, schema: Schema,
+                 num_sites: int) -> Array | None:
+        column = page.column_array(schema.index_of(self.attribute))
+        if column is None:
+            return None  # non-integer key column: scalar fallback
+        # searchsorted(side="right") is bisect_right element-wise.
+        return np.searchsorted(
+            np.asarray(self.boundaries, dtype=np.int64), column,
+            side="right").astype(np.int64)
+
     def describe(self) -> str:
         return f"range({self.attribute}, user boundaries)"
 
@@ -148,7 +192,12 @@ class RangeUniformPartitioning(PartitioningStrategy):
     def begin_load(self, schema: Schema, rows: typing.Sequence[Row],
                    num_sites: int) -> None:
         index = schema.index_of(self.attribute)
-        ordered = sorted(row[index] for row in rows)
+        if isinstance(rows, ColumnPage):
+            column = rows.column_array(index)
+            ordered = (np.sort(column).tolist() if column is not None
+                       else sorted(rows.column_values(index)))
+        else:
+            ordered = sorted(row[index] for row in rows)
         boundaries: list[int] = []
         for site in range(1, num_sites):
             cut = (site * len(ordered)) // num_sites
@@ -167,6 +216,14 @@ class RangeUniformPartitioning(PartitioningStrategy):
                 "range-uniform partitioning used before begin_load(); "
                 "load the relation through repro.catalog.load_relation")
         return self._delegate.site_of(row, schema, num_sites)
+
+    def sites_of(self, page: ColumnPage, schema: Schema,
+                 num_sites: int) -> Array | None:
+        if self._delegate is None:
+            raise RuntimeError(
+                "range-uniform partitioning used before begin_load(); "
+                "load the relation through repro.catalog.load_relation")
+        return self._delegate.sites_of(page, schema, num_sites)
 
     @property
     def boundaries(self) -> list[int]:

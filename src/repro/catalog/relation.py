@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.catalog.pages import ColumnPage
 from repro.catalog.partitioning import PartitioningStrategy
 from repro.catalog.schema import Schema
 
@@ -32,8 +33,17 @@ class Relation:
             raise ValueError(f"relation {name!r} needs >= 1 fragment")
         self.name = name
         self.schema = schema
-        self.fragments: list[list[Row]] = [list(f) for f in fragments]
+        #: Tuple-list fragments, or ColumnPage fragments when the
+        #: relation was loaded under ``REPRO_COLUMNAR`` (same row
+        #: values and order either way).
+        self.fragments: list[typing.Sequence[Row]] = [
+            f if isinstance(f, ColumnPage) else list(f)
+            for f in fragments]
         self.partitioning = partitioning
+        #: page_size -> tuples-per-page; fragment_pages/total_pages sit
+        #: on the scan cost path, and the division is invariant per
+        #: relation, so compute it once per page size.
+        self._tuples_per_page: dict[int, int] = {}
 
     # -- size arithmetic ----------------------------------------------------
 
@@ -53,10 +63,18 @@ class Relation:
     def total_bytes(self) -> int:
         return self.cardinality * self.schema.tuple_bytes
 
+    def tuples_per_page(self, page_size: int) -> int:
+        """Tuples that fit one disk page (cached per page size)."""
+        cached = self._tuples_per_page.get(page_size)
+        if cached is None:
+            cached = max(1, page_size // self.schema.tuple_bytes)
+            self._tuples_per_page[page_size] = cached
+        return cached
+
     def fragment_pages(self, fragment: int, page_size: int) -> int:
         """Disk pages occupied by one fragment."""
-        tuples_per_page = max(1, page_size // self.schema.tuple_bytes)
-        return math.ceil(len(self.fragments[fragment]) / tuples_per_page)
+        return math.ceil(len(self.fragments[fragment])
+                         / self.tuples_per_page(page_size))
 
     def total_pages(self, page_size: int) -> int:
         return sum(self.fragment_pages(i, page_size)
@@ -64,13 +82,42 @@ class Relation:
 
     # -- convenience --------------------------------------------------------
 
+    def iter_rows(self) -> typing.Iterator[Row]:
+        """Lazily yield every tuple in fragment order (verification
+        paths; avoids copying whole relations)."""
+        for fragment in self.fragments:
+            yield from fragment
+
     def all_rows(self) -> list[Row]:
         """Every tuple, fragment order (for verification, not for the
         simulated data path)."""
-        rows: list[Row] = []
+        return list(self.iter_rows())
+
+    def with_representation(self, columnar: bool) -> "Relation":
+        """This relation with columnar (or tuple-list) fragments.
+
+        Returns ``self`` when the fragments are already in the
+        requested representation; otherwise a new catalog object over
+        converted fragments — same rows, same order, same schema and
+        partitioning.  Differential harnesses use this to run one
+        generated database through both ``REPRO_COLUMNAR`` planes.
+        """
+        converted: list[typing.Sequence[Row]] = []
+        changed = False
         for fragment in self.fragments:
-            rows.extend(fragment)
-        return rows
+            if columnar and not isinstance(fragment, ColumnPage):
+                converted.append(ColumnPage.from_rows(
+                    fragment, width=len(self.schema.attributes)))
+                changed = True
+            elif not columnar and isinstance(fragment, ColumnPage):
+                converted.append(list(fragment))
+                changed = True
+            else:
+                converted.append(fragment)
+        if not changed:
+            return self
+        return Relation(self.name, self.schema, converted,
+                        partitioning=self.partitioning)
 
     def attribute_index(self, attribute: str) -> int:
         return self.schema.index_of(attribute)

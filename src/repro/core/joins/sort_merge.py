@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.catalog.pages import ColumnPage
 from repro.core import kernels
 from repro.core.bit_filter import FilterBank
 from repro.core.joins.base import JoinConfigError, JoinDriver
@@ -242,7 +243,8 @@ class SortMergeJoin(JoinDriver):
         """Sort every site's file in parallel; returns sorted row lists."""
         stat = self.phase(f"sort-merge.sort{which}")
         memory_per_node = self.aggregate_memory // len(self.disk_nodes)
-        sorted_rows: list[list[Row] | None] = [None] * len(self.disk_nodes)
+        sorted_rows: list[typing.Sequence[Row] | None] = (
+            [None] * len(self.disk_nodes))
         pass_counts: list[int] = []
         yield from self.scheduler.start_operators(self.disk_nodes)
         processes = []
@@ -305,8 +307,9 @@ class SortMergeJoin(JoinDriver):
     # Phase 5: parallel local merge join
     # ------------------------------------------------------------------
 
-    def _merge_join(self, sorted_r: list[list[Row]],
-                    sorted_s: list[list[Row]]) -> typing.Generator:
+    def _merge_join(self, sorted_r: list[typing.Sequence[Row]],
+                    sorted_s: list[typing.Sequence[Row]]
+                    ) -> typing.Generator:
         stat = self.phase("sort-merge.merge")
         machine = self.machine
         store_consumers, store_port = self.store_writers(
@@ -322,8 +325,8 @@ class SortMergeJoin(JoinDriver):
             split_table_bytes=len(self.disk_nodes) * 40)
         self.end_phase(stat)
 
-    def _merge_node(self, node: Node, r_rows: list[Row],
-                    s_rows: list[Row], store_router: Router
+    def _merge_node(self, node: Node, r_rows: typing.Sequence[Row],
+                    s_rows: typing.Sequence[Row], store_router: Router
                     ) -> typing.Generator:
         """Merge-join one site's sorted fragments.
 
@@ -331,6 +334,10 @@ class SortMergeJoin(JoinDriver):
         I/O), backs up over duplicate outer values, and stops early
         once the exhausted side's maximum can no longer match — the
         §4.4 skipped-read effect.
+
+        The merge cursors walk plain Python key-value lists (one
+        column extraction per side), so a columnar fragment only
+        materializes the row tuples that actually join.
         """
         costs = self.costs
         disk = node.require_disk()
@@ -338,23 +345,31 @@ class SortMergeJoin(JoinDriver):
         s_key = self.outer_key
         r_tpp = costs.tuples_per_page(self.inner.schema.tuple_bytes)
         s_tpp = costs.tuples_per_page(self.outer.schema.tuple_bytes)
-        r_max = r_rows[-1][r_key] if r_rows else None
+        n_r = len(r_rows)
+        n_s = len(s_rows)
+        r_keys = (r_rows.column_values(r_key)
+                  if isinstance(r_rows, ColumnPage)
+                  else [row[r_key] for row in r_rows])
+        s_keys = (s_rows.column_values(s_key)
+                  if isinstance(s_rows, ColumnPage)
+                  else [row[s_key] for row in s_rows])
+        r_max = r_keys[-1] if r_keys else None
         r_index = 0
         r_pages_read = 0
         s_pages_read = 0
         s_consumed = 0
         stopped_early = False
 
-        for s_start in range(0, len(s_rows), s_tpp):
+        for s_start in range(0, n_s, s_tpp):
             if stopped_early:
                 break
-            s_page = s_rows[s_start:s_start + s_tpp]
+            s_end = min(s_start + s_tpp, n_s)
             yield from disk.read_pages(1, sequential=True)
             s_pages_read += 1
             cpu = 0.0
-            for s_row in s_page:
+            for s_i in range(s_start, s_end):
                 s_consumed += 1
-                value = s_row[s_key]
+                value = s_keys[s_i]
                 if r_max is None or value > r_max:
                     # Inner exhausted below this value: nothing in the
                     # remainder of S can join — stop reading (§4.4).
@@ -362,8 +377,7 @@ class SortMergeJoin(JoinDriver):
                     cpu += costs.sort_compare
                     break
                 cpu += costs.tuple_scan
-                while (r_index < len(r_rows)
-                       and r_rows[r_index][r_key] < value):
+                while r_index < n_r and r_keys[r_index] < value:
                     r_index += 1
                     cpu += costs.sort_compare + costs.sort_tuple_overhead
                 # Charge inner page reads as the cursor crosses pages.
@@ -376,10 +390,12 @@ class SortMergeJoin(JoinDriver):
                     r_pages_read = needed_pages
                 # Backup over duplicates: scan the run of equal keys.
                 probe = r_index
-                while (probe < len(r_rows)
-                       and r_rows[probe][r_key] == value):
+                s_row: Row | None = None
+                while probe < n_r and r_keys[probe] == value:
                     cpu += (costs.sort_compare + costs.tuple_result
                             + costs.tuple_move)
+                    if s_row is None:
+                        s_row = s_rows[s_i]
                     store_router.give_round_robin(r_rows[probe] + s_row)
                     probe += 1
                 cpu += costs.sort_compare

@@ -17,6 +17,7 @@ import multiprocessing
 import os
 import typing
 
+from repro.catalog.pages import columnar_enabled
 from repro.core.joins import JoinResult, run_join
 from repro.core.joins.reference import assert_same_result
 from repro.engine.machine import GammaMachine
@@ -188,8 +189,15 @@ _DB_CACHE: dict = {}
 
 def sweep_database(config: ExperimentConfig, hpja: bool
                    ) -> WisconsinDatabase:
-    """The (cached) joinABprime database for this config."""
-    key = (config.num_disk_nodes, config.scale, config.seed, hpja)
+    """The (cached) joinABprime database for this config.
+
+    ``REPRO_COLUMNAR`` is part of the key: the gate is honored at
+    generation time (fragments are built columnar or tuple-list), so
+    harnesses that flip the environment between runs must not be
+    handed a database of the other representation.
+    """
+    key = (config.num_disk_nodes, config.scale, config.seed, hpja,
+           columnar_enabled())
     db = _DB_CACHE.get(key)
     if db is None:
         db = WisconsinDatabase.joinabprime(

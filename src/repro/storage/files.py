@@ -17,11 +17,24 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.catalog.pages import ColumnPage
+
 Row = typing.Tuple
 
 
 class PagedFile:
     """An append-only tuple file with page accounting.
+
+    Storage is dual-mode: while every batch arriving is a
+    :class:`~repro.catalog.pages.ColumnPage` (the ``REPRO_COLUMNAR``
+    data plane), the file accumulates the page batches as-is and
+    :attr:`rows` exposes their cached concatenation — a zero-copy-read
+    columnar view whose hash-column cache persists across phases.  The
+    first scalar ``append`` or tuple-list ``extend`` converts the file
+    to the classic tuple-list storage (batches always precede scalar
+    traffic on the paths that mix them, so conversion happens at most
+    once).  Page accounting is count-based and identical in both
+    modes.
 
     Parameters
     ----------
@@ -44,7 +57,15 @@ class PagedFile:
         self.tuple_bytes = tuple_bytes
         self.page_size = page_size
         self.tuples_per_page = max(1, page_size // tuple_bytes)
-        self.rows: list[Row] = []
+        #: Tuple-list storage (None while in columnar mode).
+        self._rows_list: typing.Optional[list[Row]] = []
+        #: Columnar batches (None while in tuple-list mode).
+        self._parts: typing.Optional[list[ColumnPage]] = None
+        #: Cached concatenation of ``_parts`` — rebuilt lazily after a
+        #: write so repeated reads see one stable page object (its
+        #: hash-column cache is what bucket joining reuses).
+        self._concat: typing.Optional[ColumnPage] = None
+        self._count = 0
         self._pages_flushed = 0
         self.closed = False
         # Optional sidecar of join-key hash codes, tagged with the
@@ -54,6 +75,28 @@ class PagedFile:
         self.hash_tag = hash_tag
         self.hashes: typing.Optional[list[int]] = (
             [] if hash_tag is not None else None)
+
+    @property
+    def rows(self) -> typing.Sequence[Row]:
+        """The stored tuples: a list, or a columnar page view."""
+        if self._rows_list is not None:
+            return self._rows_list
+        concat = self._concat
+        if concat is None:
+            parts = self._parts
+            assert parts is not None
+            concat = self._concat = (
+                parts[0] if len(parts) == 1 else ColumnPage.concat(parts))
+        return concat
+
+    def _to_list_mode(self) -> None:
+        """Materialize columnar batches into tuple-list storage."""
+        merged: list[Row] = []
+        for part in self._parts or ():
+            merged.extend(part)
+        self._rows_list = merged
+        self._parts = None
+        self._concat = None
 
     # -- writing ---------------------------------------------------------
 
@@ -65,9 +108,12 @@ class PagedFile:
         """
         if self.closed:
             raise RuntimeError(f"append to closed file {self.name!r}")
-        self.rows.append(row)
+        if self._rows_list is None:
+            self._to_list_mode()
+        self._rows_list.append(row)
+        self._count += 1
         self.hashes = None  # scalar appends carry no hash sidecar
-        if len(self.rows) % self.tuples_per_page == 0:
+        if self._count % self.tuples_per_page == 0:
             self._pages_flushed += 1
             return True
         return False
@@ -84,16 +130,32 @@ class PagedFile:
         """
         if self.closed:
             raise RuntimeError(f"append to closed file {self.name!r}")
-        mine = self.rows
-        before = len(mine)
-        mine.extend(rows)
+        before = self._count
+        if isinstance(rows, ColumnPage):
+            if self._rows_list is not None and not self._rows_list:
+                # Empty file receiving columnar traffic: go columnar.
+                self._rows_list = None
+                self._parts = []
+            if self._parts is not None:
+                self._parts.append(rows)
+                self._concat = None
+                self._count = before + len(rows)
+            else:
+                self._rows_list.extend(rows)
+                self._count = before + len(rows)
+        else:
+            if self._rows_list is None:
+                self._to_list_mode()
+            mine = self._rows_list
+            mine.extend(rows)
+            self._count = len(mine)
         if self.hashes is not None:
             if hashes is None:
                 self.hashes = None
             else:
                 self.hashes.extend(hashes)
         per_page = self.tuples_per_page
-        completed = len(mine) // per_page - before // per_page
+        completed = self._count // per_page - before // per_page
         self._pages_flushed += completed
         return completed
 
@@ -103,7 +165,7 @@ class PagedFile:
         and covering every stored row; otherwise None."""
         if (self.hash_tag == (level, family)
                 and self.hashes is not None
-                and len(self.hashes) == len(self.rows)):
+                and len(self.hashes) == self._count):
             return self.hashes
         return None
 
@@ -124,28 +186,29 @@ class PagedFile:
 
     @property
     def num_tuples(self) -> int:
-        return len(self.rows)
+        return self._count
 
     @property
     def num_pages(self) -> int:
-        return math.ceil(len(self.rows) / self.tuples_per_page)
+        return math.ceil(self._count / self.tuples_per_page)
 
     @property
     def total_bytes(self) -> int:
-        return len(self.rows) * self.tuple_bytes
+        return self._count * self.tuple_bytes
 
     @property
     def is_empty(self) -> bool:
-        return not self.rows
+        return not self._count
 
-    def pages(self) -> typing.Iterator[list[Row]]:
+    def pages(self) -> typing.Iterator[typing.Sequence[Row]]:
         """Iterate page-sized chunks of tuples, in file order."""
-        for start in range(0, len(self.rows), self.tuples_per_page):
-            yield self.rows[start:start + self.tuples_per_page]
+        rows = self.rows
+        for start in range(0, self._count, self.tuples_per_page):
+            yield rows[start:start + self.tuples_per_page]
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._count
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<PagedFile {self.name!r} tuples={len(self.rows)} "
+        return (f"<PagedFile {self.name!r} tuples={self._count} "
                 f"pages={self.num_pages}>")

@@ -4,8 +4,9 @@ The simulator has three performance planes that must not change any
 simulated result: the event scheduler (``REPRO_SCHED``:
 calendar queue vs classic binary heap), the vectorized page-batch
 data plane (``REPRO_VECTOR``) and the event-loop urgent fastpath
-(``REPRO_FASTPATH``).  This module runs one workload through the full
-eight-combination cube — each on a fresh machine, with the
+(``REPRO_FASTPATH``) and the columnar relation storage
+(``REPRO_COLUMNAR``).  This module runs one workload through the full
+sixteen-combination cube — each on a fresh machine, with the
 conformance monitor (``REPRO_VERIFY=1``) active — and asserts that
 every mode produces **bit-identical** response times and per-phase
 timings.  Any
@@ -34,24 +35,30 @@ import typing
 
 from repro.verify import ConformanceError
 
-#: (sched, vector, fastpath) combinations — the full cube, the
-#: all-defaults reference combo first.
-MODES: tuple[tuple[str, int, int], ...] = tuple(
-    (sched, vector, fastpath)
+#: (sched, vector, fastpath, columnar) combinations — the full cube,
+#: the all-defaults reference combo first.
+MODES: tuple[tuple[str, int, int, int], ...] = tuple(
+    (sched, vector, fastpath, columnar)
     for sched in ("calendar", "heap")
     for vector in (1, 0)
-    for fastpath in (1, 0))
+    for fastpath in (1, 0)
+    for columnar in (1, 0))
 
 
 @contextlib.contextmanager
 def mode_env(sched: str, vector: int, fastpath: int,
-             verify: bool = True) -> typing.Iterator[None]:
+             verify: bool = True,
+             columnar: int | None = None) -> typing.Iterator[None]:
     """Pin the scheduler/data-plane/fastpath/verify environment for
     one run.
 
     The flags are read at machine- and driver-construction time, so a
     fresh machine built inside this context runs fully in the
-    requested mode.
+    requested mode.  ``columnar`` additionally pins
+    ``REPRO_COLUMNAR`` — note the relation *representation* is decided
+    when a database is generated, so harnesses convert the database
+    per combo (:meth:`WisconsinDatabase.with_representation`) rather
+    than relying on the flag alone.
     """
     desired = {
         "REPRO_SCHED": sched,
@@ -59,6 +66,8 @@ def mode_env(sched: str, vector: int, fastpath: int,
         "REPRO_FASTPATH": str(fastpath),
         "REPRO_VERIFY": "1" if verify else "0",
     }
+    if columnar is not None:
+        desired["REPRO_COLUMNAR"] = str(columnar)
     saved = {key: os.environ.get(key) for key in desired}
     os.environ.update(desired)
     try:
@@ -80,35 +89,43 @@ def _phase_signature(result: typing.Any) -> list[tuple[str, str, str]]:
 def run_mode_matrix(config: typing.Any, db: typing.Any, algorithm: str,
                     memory_ratio: float, configuration: str = "local",
                     **spec_kwargs: typing.Any) -> dict:
-    """One workload through the SCHED × VECTOR × FASTPATH cube.
+    """One workload through the SCHED × VECTOR × FASTPATH × COLUMNAR
+    cube.
 
     Every combo runs on a fresh machine with the conformance monitor
-    enabled; the harness then asserts bit-identical response times and
-    phase timings across combos.  Returns a picklable report with the
+    enabled — the columnar combos against the database converted to
+    page fragments, the others against tuple-list fragments — and the
+    harness then asserts bit-identical response times and phase
+    timings across all sixteen. Returns a picklable report with the
     reference result attached under ``"result"``.
     """
     from repro.experiments.runner import run_sweep_point
 
     runs = []
-    for sched, vector, fastpath in MODES:
-        with mode_env(sched, vector, fastpath, verify=True):
-            point = run_sweep_point(config, db, algorithm, memory_ratio,
+    for sched, vector, fastpath, columnar in MODES:
+        mode_db = (db if db is None
+                   else db.with_representation(bool(columnar)))
+        with mode_env(sched, vector, fastpath, verify=True,
+                      columnar=columnar):
+            point = run_sweep_point(config, mode_db, algorithm,
+                                    memory_ratio,
                                     configuration=configuration,
                                     **spec_kwargs)
-        runs.append(((sched, vector, fastpath), point))
+        runs.append(((sched, vector, fastpath, columnar), point))
 
     (_, reference), *rest = runs
     ref_sig = _phase_signature(reference.result)
     ref_time = repr(reference.result.response_time)
-    for (sched, vector, fastpath), point in rest:
+    for (sched, vector, fastpath, columnar), point in rest:
         time = repr(point.result.response_time)
         if time != ref_time:
             raise ConformanceError(
                 f"{algorithm} response time diverges across modes: "
                 f"sched={sched} vector={vector} fastpath={fastpath} "
+                f"columnar={columnar} "
                 f"produced {time}, reference {ref_time}",
                 invariant="mode-matrix",
-                deltas={"mode": [sched, vector, fastpath],
+                deltas={"mode": [sched, vector, fastpath, columnar],
                         "response_time": time,
                         "reference": ref_time})
         sig = _phase_signature(point.result)
@@ -118,9 +135,10 @@ def run_mode_matrix(config: typing.Any, db: typing.Any, algorithm: str,
             ] or [(ref_sig[len(sig):], sig[len(ref_sig):])]
             raise ConformanceError(
                 f"{algorithm} phase timings diverge across modes "
-                f"(sched={sched} vector={vector} fastpath={fastpath})",
+                f"(sched={sched} vector={vector} fastpath={fastpath} "
+                f"columnar={columnar})",
                 invariant="mode-matrix",
-                deltas={"mode": [sched, vector, fastpath],
+                deltas={"mode": [sched, vector, fastpath, columnar],
                         "diverging_phases": diverging[:4]})
     return {
         "algorithm": algorithm,
@@ -141,7 +159,7 @@ def run_figure5_matrix(scale: float,
                        algorithms: typing.Sequence[str] | None = None,
                        ) -> list[dict]:
     """The Figure 5 workload (local HPJA joinABprime) through the
-    matrix: every algorithm × memory ratio, all eight mode combos,
+    matrix: every algorithm × memory ratio, all sixteen mode combos,
     all invariants, plus the analytic assessment of the reference
     run."""
     from repro.experiments.config import (
@@ -176,8 +194,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify.matrix",
         description="Differential REPRO_SCHED x REPRO_VECTOR x "
-                    "REPRO_FASTPATH conformance matrix over the "
-                    "Figure 5 workload.")
+                    "REPRO_FASTPATH x REPRO_COLUMNAR conformance "
+                    "matrix over the Figure 5 workload.")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="Wisconsin scale factor (default 0.05)")
     parser.add_argument("--out", type=pathlib.Path, default=None,

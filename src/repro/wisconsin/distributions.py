@@ -18,19 +18,27 @@ import typing
 import numpy as np
 
 
-def normal_attribute_values(n: int, rng: np.random.Generator,
-                            mean: float = 50_000.0,
-                            stddev: float = 750.0,
-                            domain: int = 100_000) -> list[int]:
+def normal_attribute_array(n: int, rng: np.random.Generator,
+                           mean: float = 50_000.0,
+                           stddev: float = 750.0,
+                           domain: int = 100_000) -> np.ndarray:
     """``n`` integer draws from the paper's normal, clipped to the
-    domain ``[0, domain)``."""
+    domain ``[0, domain)``, as an int64 column."""
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
     if domain < 1:
         raise ValueError(f"domain must be >= 1, got {domain}")
     draws = rng.normal(loc=mean, scale=stddev, size=n)
-    clipped = np.clip(np.rint(draws), 0, domain - 1).astype(np.int64)
-    return [int(v) for v in clipped]
+    return np.clip(np.rint(draws), 0, domain - 1).astype(np.int64)
+
+
+def normal_attribute_values(n: int, rng: np.random.Generator,
+                            mean: float = 50_000.0,
+                            stddev: float = 750.0,
+                            domain: int = 100_000) -> list[int]:
+    """:func:`normal_attribute_array` as a list of Python ints."""
+    return normal_attribute_array(n, rng, mean=mean, stddev=stddev,
+                                  domain=domain).tolist()
 
 
 @dataclasses.dataclass(frozen=True)

@@ -178,5 +178,6 @@ class TestParallelSweep:
         runner_module._DB_CACHE.clear()
         run_sweep_points(dataclasses.replace(CONFIG, jobs=2),
                          self.JOBS[:2])
-        key = (CONFIG.num_disk_nodes, CONFIG.scale, CONFIG.seed, True)
+        key = (CONFIG.num_disk_nodes, CONFIG.scale, CONFIG.seed, True,
+               runner_module.columnar_enabled())
         assert key in runner_module._DB_CACHE

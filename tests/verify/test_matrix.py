@@ -1,11 +1,11 @@
 """Differential mode-matrix tests (``repro.verify.matrix``).
 
-The eight REPRO_SCHED x REPRO_VECTOR x REPRO_FASTPATH combinations
-must be simulation-invisible: randomized small workloads (algorithm, memory
-ratio, configuration, declustering, skew) are pushed through
-:func:`run_mode_matrix`, which runs each combo on a fresh machine with
-all invariants armed and asserts bit-identical response times and
-phase timings.
+The sixteen REPRO_SCHED x REPRO_VECTOR x REPRO_FASTPATH x
+REPRO_COLUMNAR combinations must be simulation-invisible: randomized
+small workloads (algorithm, memory ratio, configuration, declustering,
+skew) are pushed through :func:`run_mode_matrix`, which runs each
+combo on a fresh machine with all invariants armed and asserts
+bit-identical response times and phase timings.
 """
 
 import os
@@ -61,7 +61,7 @@ class TestModeEnv:
 
 
 class TestModeMatrix:
-    def test_reports_all_eight_modes(self, tiny_db):
+    def test_reports_all_sixteen_modes(self, tiny_db):
         report = run_mode_matrix(CONFIG, tiny_db, "hybrid", 1.0)
         assert report["modes"] == [list(m) for m in MODES]
         assert report["algorithm"] == "hybrid"
@@ -108,7 +108,7 @@ class TestDivergenceDetection:
         with pytest.raises(ConformanceError) as info:
             run_mode_matrix(CONFIG, None, "hybrid", 1.0)
         assert info.value.invariant == "mode-matrix"
-        assert info.value.deltas["mode"] == ["calendar", 0, 1]
+        assert info.value.deltas["mode"] == ["calendar", 0, 1, 1]
 
     def test_phase_timing_divergence_raises(self, monkeypatch):
         def fake_run(config, db, algorithm, ratio, **kwargs):
