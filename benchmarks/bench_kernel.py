@@ -295,6 +295,50 @@ def time_columnar_fig5_point(scale: float) -> dict:
     return out
 
 
+def time_scaleout(reps: int) -> dict | None:
+    """Interleaved A/B of the scale-out sweep driver across hardware
+    models: a small speedup sweep (hybrid, 8 -> 16 nodes) on
+    ``gamma-1989`` + token ring versus ``modern-2018`` + switched
+    fabric, reps interleaved arm-by-arm so clock drift and cache
+    warmth hit both arms alike.  Simulated response times must be
+    bit-stable across reps; the recorded curves document how each
+    hardware model actually scales at this operating point.
+    """
+    try:
+        from repro.experiments.scaleout import (
+            ScaleoutConfig,
+            run_scaleout,
+        )
+    except ImportError:
+        return None  # revision predates the scale-out driver
+    arms = {"gamma-ring": ("gamma-1989", "token-ring"),
+            "modern-fabric": ("modern-2018", "fabric")}
+    times: dict = {arm: [] for arm in arms}
+    curves: dict = {}
+    for _ in range(reps):
+        for arm, (profile, topology) in arms.items():
+            config = ScaleoutConfig(
+                profile=profile, topology=topology, nodes=(8, 16),
+                base_scale=0.1, sweeps=("speedup",),
+                algorithms=("hybrid",))
+            started = time.perf_counter()
+            sample = run_scaleout(config)
+            times[arm].append(time.perf_counter() - started)
+            curve = {
+                str(entry["nodes"]): {
+                    "response_time": repr(entry["response_time"]),
+                    "speedup": round(entry["speedup"], 3)}
+                for entry in sample["curves"]["speedup"]["hybrid"]}
+            if arm in curves and curves[arm] != curve:
+                raise AssertionError(
+                    f"{arm} scale-out curve drifted across reps: "
+                    f"{curves[arm]} != {curve}")
+            curves[arm] = curve
+    out = {arm: {**_summary(arm_times), "speedup_curve": curves[arm]}
+           for arm, arm_times in times.items()}
+    return out
+
+
 def main(argv: list | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Append a kernel-perf sample to BENCH_kernel.json")
@@ -354,6 +398,9 @@ def main(argv: list | None = None) -> int:
     if args.columnar_fig5_scale is not None:
         sample["columnar_fig5_point"] = time_columnar_fig5_point(
             args.columnar_fig5_scale)
+    scaleout = time_scaleout(args.reps)
+    if scaleout is not None:
+        sample["scaleout_microbench"] = scaleout
     for jobs in args.jobs:
         timing = time_figure5(args.scale, jobs, args.reps)
         if timing is not None:

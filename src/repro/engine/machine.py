@@ -17,9 +17,10 @@ from __future__ import annotations
 import enum
 import typing
 
-from repro.costs import DEFAULT_COSTS, CostModel
+from repro.costs import CostModel, resolve_profile
 from repro.engine.node import Node
-from repro.network import NetworkService, PortRegistry, TokenRing
+from repro.network import NetworkService, PortRegistry
+from repro.network.topology import build_interconnect, resolve_topology_name
 from repro.sim import Simulator
 
 
@@ -37,16 +38,28 @@ class GammaMachine:
 
     def __init__(self, num_disk_nodes: int = 8,
                  num_diskless_join_nodes: int = 0,
-                 costs: CostModel = DEFAULT_COSTS) -> None:
+                 costs: "CostModel | str | None" = None,
+                 topology: "str | None" = None) -> None:
         if num_disk_nodes < 1:
             raise ValueError(
                 f"need at least one disk node, got {num_disk_nodes}")
         if num_diskless_join_nodes < 0:
             raise ValueError(
                 f"negative diskless node count: {num_diskless_join_nodes}")
+        # ``costs`` accepts a profile name (or None for the
+        # REPRO_PROFILE environment default) in addition to a ready
+        # CostModel; ``topology`` likewise names a registered
+        # interconnect (None -> REPRO_TOPOLOGY, default token-ring).
+        costs = resolve_profile(costs)
         self.costs = costs
+        self.topology_name = resolve_topology_name(topology)
         self.sim = Simulator()
-        self.ring = TokenRing(self.sim, costs)
+        total_nodes = num_disk_nodes + num_diskless_join_nodes + 1
+        self.ring = build_interconnect(self.topology_name, self.sim,
+                                       costs, total_nodes)
+        #: Topology-neutral alias for the transport (``ring`` keeps its
+        #: historical name for the paper-faithful default).
+        self.interconnect = self.ring
         self.registry = PortRegistry(self.sim)
         self.network = NetworkService(self.sim, costs, self.ring,
                                       self.registry)
@@ -88,19 +101,23 @@ class GammaMachine:
 
     @classmethod
     def local(cls, num_disk_nodes: int = 8,
-              costs: CostModel = DEFAULT_COSTS) -> "GammaMachine":
+              costs: "CostModel | str | None" = None,
+              topology: "str | None" = None) -> "GammaMachine":
         """The paper's default: disk nodes + scheduler, joins local."""
         return cls(num_disk_nodes=num_disk_nodes,
-                   num_diskless_join_nodes=0, costs=costs)
+                   num_diskless_join_nodes=0, costs=costs,
+                   topology=topology)
 
     @classmethod
     def remote(cls, num_disk_nodes: int = 8,
                num_join_nodes: int = 8,
-               costs: CostModel = DEFAULT_COSTS) -> "GammaMachine":
+               costs: "CostModel | str | None" = None,
+               topology: "str | None" = None) -> "GammaMachine":
         """§4.3's configuration: disks for storage, diskless nodes for
         the join computation."""
         return cls(num_disk_nodes=num_disk_nodes,
-                   num_diskless_join_nodes=num_join_nodes, costs=costs)
+                   num_diskless_join_nodes=num_join_nodes, costs=costs,
+                   topology=topology)
 
     # -- topology ----------------------------------------------------------
 

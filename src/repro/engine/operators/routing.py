@@ -22,6 +22,7 @@ import typing
 
 from repro.engine.node import Node
 from repro.network.messages import DataPacket, EndOfStream
+from repro.network.ring import TokenRing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.machine import GammaMachine
@@ -61,8 +62,19 @@ class Router:
         costs = machine.costs
         self._stats = network.stats
         self._src_cpu_use = network._cpu(src_node.node_id).use
-        self._ring = network.ring
-        self._ring_use = network.ring.medium.use
+        # The flush loop inlines the shared-ring transmit; any other
+        # interconnect goes through its transmit() generator (the
+        # routed topologies need the endpoints and hold several media,
+        # so there is nothing to inline).  ``type is`` — not
+        # isinstance — so a subclass with a different transmit cannot
+        # silently inherit the inlined fast path.
+        interconnect = network.ring
+        if type(interconnect) is TokenRing:
+            self._ring: "TokenRing | None" = interconnect
+            self._ring_use = interconnect.medium.use
+        else:
+            self._ring = None
+            self._transmit = interconnect.transmit
         self._wire_time = costs.packet_wire_time
         self._mailbox = machine.registry.mailbox
         #: Per-destination mailbox cache (registry mailboxes are
@@ -230,12 +242,15 @@ class Router:
                 yield from cpu_use(self._sc_cost)
             else:
                 yield from cpu_use(self._send_cost)
-                # Inlined TokenRing.transmit (payload is positive and
-                # clamped to one packet by construction).
                 wire = payload if payload < packet_size else packet_size
-                ring.packets_carried += 1
-                ring.bytes_carried += wire
-                yield from self._ring_use(self._wire_time(wire))
+                if ring is not None:
+                    # Inlined TokenRing.transmit (payload is positive
+                    # and clamped to one packet by construction).
+                    ring.packets_carried += 1
+                    ring.bytes_carried += wire
+                    yield from self._ring_use(self._wire_time(wire))
+                else:
+                    yield from self._transmit(wire, src, dst_node_id)
             mailbox = mailboxes.get(dst_node_id)
             if mailbox is None:
                 mailbox = mailboxes[dst_node_id] = self._mailbox(

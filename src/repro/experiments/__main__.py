@@ -16,9 +16,11 @@ import pathlib
 import sys
 import time
 
+from repro.costs import resolve_profile_name
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.report import render
+from repro.network.topology import resolve_topology_name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="profile each experiment (cProfile hot spots + "
              "simulation-kernel counters)")
+    parser.add_argument(
+        "--hardware-profile", default=None, metavar="NAME",
+        help="hardware cost profile for every machine "
+             "(repro.costs.PROFILES, e.g. gamma-1989, modern-2018; "
+             "default: REPRO_PROFILE or gamma-1989)")
+    parser.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help="interconnect topology (token-ring, fabric, hypercube; "
+             "default: REPRO_TOPOLOGY or token-ring)")
     parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="also write each report to <out>/<experiment>.txt")
@@ -259,9 +270,16 @@ def main(argv: list[str] | None = None) -> int:
         jobs = int(os.environ.get("REPRO_JOBS", 1))
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+    try:
+        resolve_profile_name(args.hardware_profile)
+        resolve_topology_name(args.topology)
+    except ValueError as error:
+        parser.error(str(error))
     config = ExperimentConfig(scale=args.scale, seed=args.seed,
                               verify_results=args.verify,
-                              jobs=jobs, profile=args.profile)
+                              jobs=jobs, profile=args.profile,
+                              hardware_profile=args.hardware_profile,
+                              topology=args.topology)
     if args.experiment == "all":
         names = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:

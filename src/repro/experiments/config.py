@@ -47,6 +47,15 @@ class ExperimentConfig:
     #: Collect per-point kernel counters and emit cProfile output
     #: (the CLI's ``--profile``).
     profile: bool = False
+    #: Named hardware profile for every machine the sweep builds
+    #: (``repro.costs.PROFILES``); None defers to ``REPRO_PROFILE``
+    #: (default ``gamma-1989``).  Distinct from ``profile``, the
+    #: cProfile switch above.
+    hardware_profile: "str | None" = None
+    #: Interconnect topology for every machine the sweep builds
+    #: (``repro.network.topology.TOPOLOGIES``); None defers to
+    #: ``REPRO_TOPOLOGY`` (default ``token-ring``).
+    topology: "str | None" = None
 
     @classmethod
     def from_environment(cls, default_scale: float = 1.0

@@ -5,7 +5,13 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.experiments import ablations, figures, multiuser, tables
+from repro.experiments import (
+    ablations,
+    figures,
+    multiuser,
+    scaleout,
+    tables,
+)
 from repro.experiments.config import ExperimentConfig
 
 
@@ -98,6 +104,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
             "multiuser-throughput",
             "future work (§5): concurrent queries, local vs remote",
             lambda config: multiuser.multiuser_throughput(config)),
+        ExperimentEntry(
+            "scaleout",
+            "scale-out speedup across cluster sizes on the active "
+            "hardware profile/topology (full speedup/scaleup/sizeup "
+            "study: python -m repro.experiments.scaleout)",
+            scaleout.scaleout_figure),
         ExperimentEntry(
             "ablation-bucket-analyzer",
             "Appendix A pathology with/without the bucket analyzer",

@@ -20,8 +20,10 @@ import typing
 from repro.catalog.pages import columnar_enabled
 from repro.core.joins import JoinResult, run_join
 from repro.core.joins.reference import assert_same_result
+from repro.costs import resolve_profile_name
 from repro.engine.machine import GammaMachine
 from repro.experiments.config import ExperimentConfig
+from repro.network.topology import resolve_topology_name
 from repro.wisconsin.database import WisconsinDatabase
 
 
@@ -100,8 +102,12 @@ def build_machine(config: ExperimentConfig, configuration: str
     """A fresh machine of the requested §4 configuration."""
     if configuration == "remote":
         return GammaMachine.remote(config.num_disk_nodes,
-                                   config.num_remote_join_nodes)
-    return GammaMachine.local(config.num_disk_nodes)
+                                   config.num_remote_join_nodes,
+                                   costs=config.hardware_profile,
+                                   topology=config.topology)
+    return GammaMachine.local(config.num_disk_nodes,
+                              costs=config.hardware_profile,
+                              topology=config.topology)
 
 
 def auto_capacity_slack(inner_tuples: int, memory_ratio: float,
@@ -194,10 +200,17 @@ def sweep_database(config: ExperimentConfig, hpja: bool
     ``REPRO_COLUMNAR`` is part of the key: the gate is honored at
     generation time (fragments are built columnar or tuple-list), so
     harnesses that flip the environment between runs must not be
-    handed a database of the other representation.
+    handed a database of the other representation.  The resolved
+    hardware profile and interconnect topology are part of the key
+    for the same defensive reason: relation content is independent of
+    both *today*, but a sweep that interleaves profiles (the scale-out
+    A/B driver does, including under ``--jobs``) must never be able to
+    observe a database primed under the other hardware model.
     """
     key = (config.num_disk_nodes, config.scale, config.seed, hpja,
-           columnar_enabled())
+           columnar_enabled(),
+           resolve_profile_name(config.hardware_profile),
+           resolve_topology_name(config.topology))
     db = _DB_CACHE.get(key)
     if db is None:
         db = WisconsinDatabase.joinabprime(

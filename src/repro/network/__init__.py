@@ -16,6 +16,10 @@ communication software (§2.2).  This package models that stack:
   for same-node "short-circuit" deliveries, which still pay a reduced
   CPU cost on both ends — §4.1 of the paper leans on exactly this),
   and delivers into the destination mailbox.
+* :mod:`~repro.network.topology` — scale-out interconnects behind the
+  same transport contract: a switched fabric with per-link contention
+  and a hypercube with dimension-order routing, selected per machine
+  (or via ``REPRO_TOPOLOGY``).
 """
 
 from repro.network.messages import (
@@ -27,15 +31,27 @@ from repro.network.messages import (
 from repro.network.ports import Address, PortRegistry
 from repro.network.ring import TokenRing
 from repro.network.service import NetworkService, NetworkStats
+from repro.network.topology import (
+    TOPOLOGIES,
+    Hypercube,
+    SwitchedFabric,
+    build_interconnect,
+    resolve_topology_name,
+)
 
 __all__ = [
     "Address",
     "ControlMessage",
     "DataPacket",
     "EndOfStream",
+    "Hypercube",
     "Message",
     "NetworkService",
     "NetworkStats",
     "PortRegistry",
+    "SwitchedFabric",
+    "TOPOLOGIES",
     "TokenRing",
+    "build_interconnect",
+    "resolve_topology_name",
 ]

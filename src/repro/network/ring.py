@@ -21,6 +21,9 @@ from repro.sim import Resource, Simulator
 class TokenRing:
     """The shared interconnect medium."""
 
+    #: Registry name in :data:`repro.network.topology.TOPOLOGIES`.
+    kind = "token-ring"
+
     def __init__(self, sim: Simulator, costs: CostModel) -> None:
         self.sim = sim
         self.costs = costs
@@ -28,11 +31,15 @@ class TokenRing:
         self.packets_carried = 0
         self.bytes_carried = 0
 
-    def transmit(self, payload_bytes: int) -> typing.Iterable:
+    def transmit(self, payload_bytes: int,
+                 src_node: "int | None" = None,
+                 dst_node: "int | None" = None) -> typing.Iterable:
         """Hold the ring for one packet's transmission time.
 
         Returns the medium's hold iterable directly (``yield from`` it);
-        traffic is counted at issue time.
+        traffic is counted at issue time.  The endpoints are accepted
+        for interface parity with the routed topologies and ignored:
+        one shared medium carries every packet.
         """
         if payload_bytes <= 0:
             raise ValueError(
@@ -55,6 +62,19 @@ class TokenRing:
         the medium for exactly ``payload / bandwidth`` seconds, so the
         carried bytes pin the busy integral (conformance check)."""
         return self.bytes_carried / self.costs.ring_bandwidth
+
+    def ledger(self) -> list[dict]:
+        """The shared medium's single conservation entry
+        (``REPRO_VERIFY`` network-conservation check)."""
+        return [{"name": self.medium.name,
+                 "busy_time": self.medium.busy_time,
+                 "expected_busy_time": self.expected_busy_time(),
+                 "bytes_carried": self.bytes_carried,
+                 "packets_carried": self.packets_carried}]
+
+    def media(self) -> list[Resource]:
+        """Every modelled medium (resource-sanity sweep)."""
+        return [self.medium]
 
     def reset_statistics(self) -> None:
         self.packets_carried = 0

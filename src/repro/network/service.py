@@ -72,6 +72,10 @@ class NetworkService:
 
     def __init__(self, sim: Simulator, costs: CostModel,
                  ring: TokenRing, registry: PortRegistry) -> None:
+        # ``ring`` is any interconnect honouring the transport contract
+        # of :mod:`repro.network.topology` (the attribute keeps its
+        # historical name); the routed topologies consume the
+        # (src, dst) endpoints every transmit passes along.
         self.sim = sim
         self.costs = costs
         self.ring = ring
@@ -123,8 +127,9 @@ class NetworkService:
             send_cost += self.costs.control_message
         yield from self._cpu(src_node).use(send_cost)
         if not local:
-            yield from self.ring.transmit(min(payload,
-                                              self.costs.packet_size))
+            yield from self.ring.transmit(
+                min(payload, self.costs.packet_size),
+                src_node, dst_node)
         self.registry.mailbox(dst_node, port).put(message)
 
     def receive_charge(self, dst_node: int, message: Message
@@ -179,6 +184,7 @@ class NetworkService:
             yield from src_use(send_cost)
             if not local:
                 yield from ring_transmit(
-                    max(1, min(remaining, packet_size)))
+                    max(1, min(remaining, packet_size)),
+                    src_node, dst_node)
             yield from dst_use(receive_cost)
             remaining -= packet_size

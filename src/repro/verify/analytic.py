@@ -26,7 +26,13 @@ table larger than one 2 KB packet ships in pieces.
 
 Model scope (``assess`` returns ``None`` outside it): uniform
 workloads without selection predicates, bit filters, hash-table
-overflow or probe-side spooling.  Within scope the model tracks the
+overflow or probe-side spooling, on the shared ``token-ring``
+interconnect (any registered hardware profile — every cost constant
+comes from the active :class:`~repro.costs.CostModel`, split-table
+sizes from :data:`~repro.core.split_table.SPLIT_ENTRY_BYTES`, and
+node counts from the machine shape; the routed topologies break the
+shared-medium lower bound and are explicitly out of
+scope).  Within scope the model tracks the
 simulator to within :data:`REL_TOLERANCE` of each phase (plus
 :data:`ABS_TOLERANCE` seconds of floor for sub-second phases) — the
 band is calibrated in ``tests/verify/test_analytic.py`` and breached
@@ -39,6 +45,7 @@ import dataclasses
 import math
 import typing
 
+from repro.core.split_table import SPLIT_ENTRY_BYTES
 from repro.costs import CostModel
 from repro.verify import ConformanceError
 
@@ -267,7 +274,8 @@ class AnalyticModel:
         ``n_build`` R tuples into J site hash tables."""
         overhead = _phase_overhead(
             self.costs, self.num_disks,
-            self.num_sites + self._spool_hosts(), self.num_sites * 40)
+            self.num_sites + self._spool_hosts(),
+            self.num_sites * SPLIT_ENTRY_BYTES)
         return _estimate(f"{label}.build",
                          self._round_build_load(n_build, aligned),
                          self.local, overhead)
@@ -309,7 +317,7 @@ class AnalyticModel:
         overhead = _phase_overhead(
             self.costs, self.num_disks,
             self.num_sites + self._spool_hosts() + self.num_disks,
-            self.num_sites * 40)
+            self.num_sites * SPLIT_ENTRY_BYTES)
         return _estimate(f"{label}.probe",
                          self._round_probe_load(n_probe, n_match,
                                                 aligned),
@@ -439,7 +447,7 @@ class AnalyticModel:
         """The local merge join: stream both sorted files, back up
         over duplicates, route results round-robin to the stores."""
         costs, D = self.costs, self.num_disks
-        overhead = _phase_overhead(costs, D, D, D * 40)
+        overhead = _phase_overhead(costs, D, D, D * SPLIT_ENTRY_BYTES)
         load = _Load()
         n_r = self.w.n_inner / D
         # The merge stops reading S once its value passes the inner's
@@ -513,7 +521,7 @@ class AnalyticModel:
     def _predict_grace(self) -> list[PhaseEstimate]:
         w, D = self.w, self.num_disks
         B = self._num_buckets("grace")
-        table_bytes = B * D * 40
+        table_bytes = B * D * SPLIT_ENTRY_BYTES
         phases = [
             self.forming("grace.formR", w.n_inner, w.inner_bytes,
                          B, table_bytes, w.inner_aligned),
@@ -536,7 +544,7 @@ class AnalyticModel:
         B = self._num_buckets("hybrid")
         entries = J + D * (B - 1)
         f0 = J / entries
-        table_bytes = entries * 40
+        table_bytes = entries * SPLIT_ENTRY_BYTES
         hosts = self._spool_hosts()
         spill = D if B > 1 else 0
         # The forming phases combine round 0's build/probe half with
@@ -579,11 +587,11 @@ class AnalyticModel:
         w, D = self.w, self.num_disks
         return [
             self.forming("sort-merge.partR", w.n_inner, w.inner_bytes,
-                         1, D * 40, w.inner_aligned),
+                         1, D * SPLIT_ENTRY_BYTES, w.inner_aligned),
             self.sort_phase("sort-merge.sortR", w.n_inner,
                             w.inner_bytes),
             self.forming("sort-merge.partS", w.n_outer, w.outer_bytes,
-                         1, D * 40, w.outer_aligned),
+                         1, D * SPLIT_ENTRY_BYTES, w.outer_aligned),
             self.sort_phase("sort-merge.sortS", w.n_outer,
                             w.outer_bytes),
             self.merge_phase(w.n_result),
@@ -612,6 +620,13 @@ def model_for(machine: "GammaMachine", db: "WisconsinDatabase",
               result: "JoinResult") -> AnalyticModel | None:
     """An :class:`AnalyticModel` for a finished join, or ``None`` when
     the execution is outside the model's scope."""
+    if machine.topology_name != "token-ring":
+        # The ring lower bound treats the interconnect as one shared
+        # medium; the routed topologies carry disjoint flows on
+        # parallel links, so that bound (and the _ctrl wire terms)
+        # systematically overestimates their contention.  Explicitly
+        # out of scope rather than wrongly banded.
+        return None
     spec = result.spec
     if (spec.inner_predicate is not None
             or spec.outer_predicate is not None

@@ -286,25 +286,36 @@ class ConformanceMonitor:
         self._passed("page-accounting")
 
     def _check_network(self) -> None:
-        ring = self.machine.ring
-        expected_busy = ring.expected_busy_time()
-        busy = ring.medium.busy_time
-        if not math.isclose(busy, expected_busy,
-                            rel_tol=1e-6, abs_tol=ABS_TOL):
-            raise ConformanceError(
-                "ring busy time disagrees with bytes carried / "
-                "bandwidth",
-                invariant="network-conservation", node="token-ring",
-                deltas={"medium_busy_time": busy,
-                        "expected_busy_time": expected_busy,
-                        "bytes_carried": ring.bytes_carried})
-        capacity_bytes = ring.costs.ring_bandwidth * busy
-        if ring.bytes_carried > capacity_bytes * (1 + 1e-6) + 1:
-            raise ConformanceError(
-                "ring carried more bytes than capacity x busy time",
-                invariant="network-conservation", node="token-ring",
-                deltas={"bytes_carried": ring.bytes_carried,
-                        "capacity_bytes": capacity_bytes})
+        # Every interconnect publishes one conservation entry per
+        # modelled medium (the shared ring has exactly one; a fabric
+        # has an uplink and a downlink per node; a hypercube one per
+        # crossed edge): the busy-time integral must equal the one its
+        # byte/packet counters imply, and carried bytes can never
+        # exceed bandwidth x busy time.
+        interconnect = self.machine.ring
+        bandwidth = interconnect.costs.ring_bandwidth
+        for entry in interconnect.ledger():
+            busy = entry["busy_time"]
+            expected_busy = entry["expected_busy_time"]
+            if not math.isclose(busy, expected_busy,
+                                rel_tol=1e-6, abs_tol=ABS_TOL):
+                raise ConformanceError(
+                    "interconnect medium busy time disagrees with its "
+                    "carried traffic x calibrated costs",
+                    invariant="network-conservation",
+                    node=entry["name"],
+                    deltas={"medium_busy_time": busy,
+                            "expected_busy_time": expected_busy,
+                            "bytes_carried": entry["bytes_carried"]})
+            capacity_bytes = bandwidth * busy
+            if entry["bytes_carried"] > capacity_bytes * (1 + 1e-6) + 1:
+                raise ConformanceError(
+                    "medium carried more bytes than capacity x busy "
+                    "time",
+                    invariant="network-conservation",
+                    node=entry["name"],
+                    deltas={"bytes_carried": entry["bytes_carried"],
+                            "capacity_bytes": capacity_bytes})
         self._passed("network-conservation")
 
     def _check_resources(self) -> None:
@@ -313,7 +324,7 @@ class ConformanceMonitor:
                                        for node in self.machine.nodes]
         resources.extend(node.disk.arm for node in self.machine.disk_nodes
                          if node.disk is not None)
-        resources.append(self.machine.ring.medium)
+        resources.extend(self.machine.ring.media())
         for resource in resources:
             snap = resource.conformance_snapshot()
             if snap["in_use"] or snap["queue_length"]:

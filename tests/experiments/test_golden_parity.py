@@ -25,6 +25,14 @@ SCHED × FASTPATH × VECTOR × COLUMNAR cube against the goldens;
 figures 7 and 14 (the slower sweeps) run every calendar combo plus
 the classic-heap reference combo, each with a tuple-list
 (``REPRO_COLUMNAR=0``) spot check.
+
+Every combination runs with ``REPRO_PROFILE=gamma-1989`` and
+``REPRO_TOPOLOGY=token-ring`` pinned *explicitly*: the hardware
+profile registry and pluggable interconnects (DESIGN.md §14) must
+resolve those names to the exact cost model and transport the seed
+hard-wired, so the goldens double as parity anchors for the registry
+path itself (the unset-env default is covered everywhere else in the
+suite).
 """
 
 from __future__ import annotations
@@ -74,6 +82,8 @@ def sweep(name: str, sched: str, fastpath: str, vector: str,
           columnar: str, monkeypatch) -> figures.Figure:
     key = (name, sched, fastpath, vector, columnar)
     if key not in _CACHE:
+        monkeypatch.setenv("REPRO_PROFILE", "gamma-1989")
+        monkeypatch.setenv("REPRO_TOPOLOGY", "token-ring")
         monkeypatch.setenv("REPRO_SCHED", sched)
         monkeypatch.setenv("REPRO_FASTPATH", fastpath)
         monkeypatch.setenv("REPRO_VECTOR", vector)

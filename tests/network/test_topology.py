@@ -1,0 +1,283 @@
+"""Property tests for the pluggable interconnect topologies.
+
+The transport contract (DESIGN.md §14) is locked down three ways:
+
+* algebraic properties of hypercube dimension-order routing, checked
+  over random cluster sizes and endpoint pairs (hypothesis);
+* per-link conservation — every medium's simulated ``busy_time`` must
+  equal the busy time implied by its own byte/packet counters, the
+  same ledger the ``REPRO_VERIFY`` monitor audits — over random
+  concurrent transfer batches;
+* registry equivalence — ``build_interconnect("token-ring", ...)`` on
+  the paper's 17-node cluster is the very TokenRing the seed
+  hard-wired, bit for bit, through both the raw transport and a full
+  remote-configuration join.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joins import run_join
+from repro.costs import DEFAULT_COSTS, get_profile
+from repro.engine.machine import GammaMachine
+from repro.network.ring import TokenRing
+from repro.network.topology import (
+    TOPOLOGIES,
+    Hypercube,
+    SwitchedFabric,
+    build_interconnect,
+    resolve_topology_name,
+)
+from repro.sim import Simulator
+from repro.wisconsin.database import WisconsinDatabase
+
+
+@st.composite
+def cluster_transfers(draw, max_nodes: int = 16):
+    """A cluster size plus a batch of (src, dst, payload) transfers
+    with distinct endpoints and paper-legal payloads."""
+    n = draw(st.integers(2, max_nodes))
+    count = draw(st.integers(1, 20))
+    transfers = []
+    for _ in range(count):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 2))
+        if dst >= src:
+            dst += 1
+        payload = draw(st.integers(1, DEFAULT_COSTS.packet_size))
+        transfers.append((src, dst, payload))
+    return n, transfers
+
+
+def _run_transfers(interconnect, transfers) -> None:
+    """Drive a batch of concurrent transmits to completion."""
+    def sender(src, dst, payload):
+        yield from interconnect.transmit(payload, src_node=src,
+                                         dst_node=dst)
+    for src, dst, payload in transfers:
+        interconnect.sim.process(sender(src, dst, payload))
+    interconnect.sim.run()
+
+
+def _assert_ledger_conserves(interconnect) -> None:
+    """The REPRO_VERIFY contract: busy time == counters x costs."""
+    for entry in interconnect.ledger():
+        assert math.isclose(entry["busy_time"],
+                            entry["expected_busy_time"],
+                            rel_tol=1e-9, abs_tol=1e-15), entry
+
+
+class TestHypercubeRouting:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_dimension_order_route_properties(self, data):
+        n = data.draw(st.integers(2, 1024), label="num_nodes")
+        src = data.draw(st.integers(0, n - 1), label="src")
+        dst = data.draw(st.integers(0, n - 2), label="dst")
+        if dst >= src:
+            dst += 1
+        cube = Hypercube(Simulator(), DEFAULT_COSTS, n)
+        hops = cube.route(src, dst)
+        # At most dim hops; exactly one per differing address bit.
+        assert 1 <= len(hops) <= cube.dim
+        assert len(hops) == bin(src ^ dst).count("1")
+        # The hop chain starts at src, ends at dst, crosses one cube
+        # edge (single bit flip) per hop, in ascending bit order.
+        assert hops[0][0] == src and hops[-1][1] == dst
+        current, last_bit = src, 0
+        for hop_src, hop_dst in hops:
+            assert hop_src == current
+            bit = hop_src ^ hop_dst
+            assert bit.bit_count() == 1
+            assert bit > last_bit
+            current, last_bit = hop_dst, bit
+        # Dimension-order routing is deterministic.
+        assert cube.route(src, dst) == hops
+
+    def test_padded_cube_uses_virtual_switch_vertices(self):
+        cube = Hypercube(Simulator(), DEFAULT_COSTS, 9)
+        assert cube.dim == 4
+        # 4 -> 3 flips three bits; both intermediates (5, 7) are
+        # addresses above any attached processor on a 9-node cluster.
+        assert cube.route(4, 3) == [(4, 5), (5, 7), (7, 3)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=cluster_transfers())
+    def test_transmit_conserves_per_link(self, batch):
+        n, transfers = batch
+        cube = Hypercube(Simulator(), DEFAULT_COSTS, n)
+        _run_transfers(cube, transfers)
+        _assert_ledger_conserves(cube)
+        assert cube.packets_carried == len(transfers)
+        assert cube.bytes_carried == sum(p for _, _, p in transfers)
+        # Every byte appears once per hop its packet crossed.
+        expected_link_bytes = sum(
+            p * len(cube.route(s, d)) for s, d, p in transfers)
+        assert sum(link.bytes for link in cube._links()) \
+            == expected_link_bytes
+
+
+class TestSwitchedFabric:
+    @settings(max_examples=40, deadline=None)
+    @given(batch=cluster_transfers())
+    def test_transmit_conserves_per_link(self, batch):
+        n, transfers = batch
+        fabric = SwitchedFabric(Simulator(), DEFAULT_COSTS, n)
+        _run_transfers(fabric, transfers)
+        _assert_ledger_conserves(fabric)
+        # Byte conservation: what every node uplinked equals what the
+        # switch downlinked, link by link and in aggregate.
+        for node in range(n):
+            assert fabric.uplinks[node].bytes == sum(
+                p for s, _, p in transfers if s == node)
+            assert fabric.downlinks[node].bytes == sum(
+                p for _, d, p in transfers if d == node)
+        assert sum(l.bytes for l in fabric.uplinks) \
+            == sum(l.bytes for l in fabric.downlinks) \
+            == fabric.bytes_carried
+
+    def test_disjoint_pairs_do_not_contend(self):
+        costs = DEFAULT_COSTS
+        fabric = SwitchedFabric(Simulator(), costs, 4)
+        wire = costs.packet_wire_time(2048)
+        _run_transfers(fabric, [(0, 1, 2048), (2, 3, 2048)])
+        # Two disjoint transfers overlap perfectly: store-and-forward
+        # of one packet, not two serialized ring slots.
+        assert fabric.sim.now == pytest.approx(
+            2 * wire + costs.switch_port_cost)
+
+    def test_incast_queues_on_destination_downlink(self):
+        costs = DEFAULT_COSTS
+        fabric = SwitchedFabric(Simulator(), costs, 4)
+        wire = costs.packet_wire_time(2048)
+        _run_transfers(fabric, [(0, 3, 2048), (1, 3, 2048),
+                                (2, 3, 2048)])
+        # Uplinks run concurrently; node 3's downlink serialises all
+        # three packets.
+        assert fabric.sim.now == pytest.approx(
+            wire + 3 * (wire + costs.switch_port_cost))
+
+    def test_validation(self):
+        fabric = SwitchedFabric(Simulator(), DEFAULT_COSTS, 4)
+        with pytest.raises(ValueError, match="positive"):
+            next(iter(fabric.transmit(0, 0, 1)))
+        with pytest.raises(ValueError, match="exceeds"):
+            next(iter(fabric.transmit(4096, 0, 1)))
+        with pytest.raises(ValueError, match="needs src_node"):
+            next(iter(fabric.transmit(100)))
+        with pytest.raises(ValueError, match="outside"):
+            next(iter(fabric.transmit(100, 0, 4)))
+        with pytest.raises(ValueError, match="short-circuits"):
+            next(iter(fabric.transmit(100, 2, 2)))
+        with pytest.raises(ValueError, match="at least one node"):
+            SwitchedFabric(Simulator(), DEFAULT_COSTS, 0)
+
+
+class TestRegistry:
+    def test_token_ring_is_the_seed_transport(self):
+        ring = build_interconnect("token-ring", Simulator(),
+                                  DEFAULT_COSTS, 17)
+        assert type(ring) is TokenRing
+        assert ring.kind == "token-ring"
+
+    def test_known_topologies(self):
+        assert set(TOPOLOGIES) == {"token-ring", "fabric", "hypercube"}
+        with pytest.raises(ValueError, match="unknown interconnect"):
+            build_interconnect("mesh", Simulator(), DEFAULT_COSTS, 4)
+
+    def test_resolve_topology_name(self, monkeypatch):
+        assert resolve_topology_name("fabric") == "fabric"
+        monkeypatch.delenv("REPRO_TOPOLOGY", raising=False)
+        assert resolve_topology_name(None) == "token-ring"
+        monkeypatch.setenv("REPRO_TOPOLOGY", "hypercube")
+        assert resolve_topology_name(None) == "hypercube"
+        monkeypatch.setenv("REPRO_TOPOLOGY", "mesh")
+        with pytest.raises(ValueError, match="REPRO_TOPOLOGY"):
+            resolve_topology_name(None)
+
+    @settings(max_examples=25, deadline=None)
+    @given(payloads=st.lists(
+        st.integers(1, DEFAULT_COSTS.packet_size), min_size=1,
+        max_size=12))
+    def test_registry_ring_transmits_like_direct_ring(self, payloads):
+        """Endpoint-annotated transmits through the registry ring are
+        bit-identical to the seed's endpoint-less calls."""
+        clocks = []
+        for annotate in (True, False):
+            sim = Simulator()
+            ring = build_interconnect("token-ring", sim, DEFAULT_COSTS,
+                                      17)
+
+            def sender():
+                for i, payload in enumerate(payloads):
+                    if annotate:
+                        yield from ring.transmit(
+                            payload, src_node=i % 16,
+                            dst_node=(i + 1) % 16)
+                    else:
+                        yield from ring.transmit(payload)
+
+            sim.process(sender())
+            sim.run()
+            _assert_ledger_conserves(ring)
+            assert ring.bytes_carried == sum(payloads)
+            clocks.append(sim.now)
+        assert repr(clocks[0]) == repr(clocks[1])
+
+
+class TestSeventeenNodeEquivalence:
+    """The paper's 17-VAX cluster (8 disk + 8 diskless + scheduler),
+    built through the profile/topology registries, must be
+    simulation-identical to the seed's hard-wired defaults."""
+
+    def test_remote_join_bit_identical(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        monkeypatch.delenv("REPRO_TOPOLOGY", raising=False)
+        db = WisconsinDatabase.joinabprime(8, scale=0.02, seed=7)
+        times = []
+        for kwargs in ({},
+                       {"costs": "gamma-1989",
+                        "topology": "token-ring"}):
+            machine = GammaMachine.remote(8, 8, **kwargs)
+            result = run_join(
+                "hybrid", machine, db.outer, db.inner,
+                inner_attribute=db.inner_attribute,
+                outer_attribute=db.outer_attribute,
+                memory_ratio=0.5, configuration="remote")
+            times.append(result.response_time)
+        assert repr(times[0]) == repr(times[1])
+
+
+class TestEndToEndConservation:
+    """Full joins on the routed topologies with every REPRO_VERIFY
+    invariant armed — including the per-link network-conservation
+    ledger this module's properties check in isolation."""
+
+    @pytest.mark.parametrize("topology", ["fabric", "hypercube"])
+    def test_verified_join(self, topology, tiny_db, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        machine = GammaMachine.local(4, costs="modern-2018",
+                                     topology=topology)
+        result = run_join(
+            "grace", machine, tiny_db.outer, tiny_db.inner,
+            inner_attribute=tiny_db.inner_attribute,
+            outer_attribute=tiny_db.outer_attribute,
+            memory_ratio=0.5, collect_result=True)
+        assert result.result_tuples == tiny_db.expected_result_tuples
+        assert machine.monitor is not None
+        summary = machine.monitor.summary()
+        assert "network-conservation" in summary["checks_passed"]
+        _assert_ledger_conserves(machine.interconnect)
+        assert machine.interconnect.bytes_carried > 0
+
+    def test_fabric_profile_objects_resolve(self):
+        machine = GammaMachine.local(
+            4, costs=get_profile("modern-2018"), topology="fabric")
+        assert machine.costs.profile == "modern-2018"
+        assert machine.topology_name == "fabric"
+        assert isinstance(machine.interconnect, SwitchedFabric)
