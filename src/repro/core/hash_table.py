@@ -37,11 +37,13 @@ cutoff" holds symmetrically on both sides — no result is ever lost
 from __future__ import annotations
 
 import math
+import os
 import typing
 
 import numpy as np
 
 from repro.catalog.pages import ColumnPage
+from repro.core import backend
 from repro.hashing import HASH_MODULUS
 
 Row = typing.Tuple
@@ -53,6 +55,24 @@ HISTOGRAM_BINS = 128
 #: Fraction of table capacity each clearing pass tries to free (§4.1:
 #: "We currently try to clear 10% of the hash table memory space").
 CLEAR_FRACTION = 0.10
+
+
+def _probe_arena_min_rows() -> int:
+    """Probe pages below this row count drop the table to scalar
+    chains.  The arena's sorted-range probe amortizes its gather over
+    the rows of each incoming page; tiny network packets (the
+    small-scale figure-5 points route 9-tuple pages) never recoup it,
+    so the first undersized probe page materializes the chains once
+    and every later probe walks them scalar — bit-identical either
+    way.  Override with ``REPRO_PROBE_ARENA_MIN_ROWS`` (0 disables)."""
+    raw = os.environ.get("REPRO_PROBE_ARENA_MIN_ROWS", "").strip()
+    try:
+        return int(raw) if raw else 32
+    except ValueError:
+        return 32
+
+
+PROBE_ARENA_MIN_ROWS = _probe_arena_min_rows()
 
 
 class JoinOverflowError(RuntimeError):
@@ -232,9 +252,10 @@ class JoinHashTable:
     def _arena_groups(self) -> dict[int, tuple[int, int]]:
         """Hash -> (start, end) ranges into the stable-sorted arena.
 
-        ``np.argsort(kind="stable")`` keeps equal hashes in insertion
-        order, so each range enumerates exactly the tuples a scalar
-        chain would hold, in the same order.
+        ``backend.arena_ranges`` uses a stable sort (numpy stable
+        argsort, or its compiled mirror), keeping equal hashes in
+        insertion order, so each range enumerates exactly the tuples a
+        scalar chain would hold, in the same order.
         """
         index = self._arena_index
         if index is None:
@@ -244,21 +265,11 @@ class JoinHashTable:
             for _page, page_hashes in parts:
                 all_hashes.extend(page_hashes)
             arr = np.asarray(all_hashes, dtype=np.int64)
-            order = np.argsort(arr, kind="stable")
-            sorted_hashes = arr[order]
-            n = len(arr)
-            if n:
-                cuts = np.flatnonzero(
-                    sorted_hashes[1:] != sorted_hashes[:-1]) + 1
-                starts = np.concatenate(([0], cuts))
-                ends = np.concatenate((cuts, [n]))
-                self._arena_max_chain = int((ends - starts).max())
-                index = dict(zip(
-                    sorted_hashes[starts].tolist(),
-                    zip(starts.tolist(), ends.tolist())))
-            else:
-                self._arena_max_chain = 0
-                index = {}
+            order, starts, ends, keys, max_chain = \
+                backend.arena_ranges(arr)
+            self._arena_max_chain = max_chain
+            index = dict(zip(keys.tolist(),
+                             zip(starts.tolist(), ends.tolist())))
             self._arena_index = index
             self._arena_order = order
         return index
@@ -370,12 +381,17 @@ class JoinHashTable:
         While the table is in arena mode the probe runs against the
         sorted-range index instead of chains: same charges, same emit
         order (per outer row, matches in insertion order), and row
-        tuples are materialized only for actual matches.
+        tuples are materialized only for actual matches.  Probe pages
+        under :data:`PROBE_ARENA_MIN_ROWS` rows instead drop the table
+        to scalar chains once and for all — the gather the arena probe
+        amortizes per page never pays for itself on tiny packets.
         """
         if self._arena is not None:
-            return self._probe_page_arena(
-                rows, hashes, outer_key, inner_key, tuple_receive,
-                tuple_probe, tuple_chain_link, result_move, emit)
+            if len(rows) >= PROBE_ARENA_MIN_ROWS:
+                return self._probe_page_arena(
+                    rows, hashes, outer_key, inner_key, tuple_receive,
+                    tuple_probe, tuple_chain_link, result_move, emit)
+            self._materialize()
         slots = self._slots
         cpu = 0.0
         for row, hash_code in zip(rows, hashes):

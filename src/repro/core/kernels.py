@@ -47,6 +47,7 @@ import numpy as np
 
 from repro import hashing
 from repro.catalog.pages import ColumnPage
+from repro.core import backend
 from repro.engine.operators.scan import constant_page_cost
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -59,8 +60,6 @@ Row = typing.Tuple
 RoutePageFn = typing.Callable[[typing.Sequence[Row]], float]
 #: numpy arrays are opaque to the type checker (no bundled stubs).
 Array = typing.Any
-
-_MASK32 = np.uint64(hashing.HASH_MODULUS - 1)
 
 
 def vector_enabled() -> bool:
@@ -126,49 +125,42 @@ def hash_keys(keys: typing.Sequence[typing.Any], level: int,
         return None
     if raw.dtype.kind not in "iu" or raw.dtype.itemsize > 8:
         return None
-    v = raw.astype(np.uint64)
+    v = np.ascontiguousarray(raw, dtype=np.uint64)
     if family == "avalanche":
-        mult = np.uint64(hashing.level_multiplier(level))
-        return (v * mult) & _MASK32
+        return backend.hash_avalanche(v, hashing.level_multiplier(level))
     if family == "legacy":
         # (v * stretch * scale + level*977) & MASK — the two integer
         # multiplications fold into one uint64 multiplier exactly.
-        mult = np.uint64((2 * level + 1)
-                         * ((hashing.HASH_MODULUS // 100_000) | 1))
-        offset = np.uint64(level * 977)
-        return (v * mult + offset) & _MASK32
+        mult = (2 * level + 1) * ((hashing.HASH_MODULUS // 100_000) | 1)
+        return backend.hash_legacy(v, mult, level * 977)
     return None
 
 
 def remix_array(hash_codes: Array) -> Array:
     """Vectorized :func:`repro.hashing.remix` — bit-identical for
     32-bit hash codes (every intermediate fits uint64 exactly)."""
-    m = _MASK32
-    z = (np.asarray(hash_codes, dtype=np.uint64) + np.uint64(0x9E3779B9)) & m
-    z = ((z ^ (z >> np.uint64(16))) * np.uint64(0x85EBCA6B)) & m
-    z = ((z ^ (z >> np.uint64(13))) * np.uint64(0xC2B2AE35)) & m
-    return z ^ (z >> np.uint64(16))
+    return backend.remix(
+        np.ascontiguousarray(hash_codes, dtype=np.uint64))
 
 
 def filter_indices(hash_codes: Array, num_bits: int) -> Array:
     """Filter bit indices for a batch of hash codes (remix % bits)."""
-    return (remix_array(hash_codes) % np.uint64(num_bits)).astype(np.int64)
+    return backend.filter_slots(
+        np.ascontiguousarray(hash_codes, dtype=np.uint64), num_bits)
 
 
 def marks_word(hash_codes: typing.Sequence[int], num_bits: int) -> int:
     """The int bitset word with every batch hash's filter bit set."""
-    marks = np.zeros(num_bits, dtype=np.uint8)
-    marks[filter_indices(np.asarray(hash_codes, dtype=np.uint64),
-                         num_bits)] = 1
-    packed = np.packbits(marks, bitorder="little")
-    return int.from_bytes(packed.tobytes(), "little")
+    slots = backend.filter_slots(
+        np.ascontiguousarray(hash_codes, dtype=np.uint64), num_bits)
+    return int.from_bytes(backend.marks_word_bytes(slots, num_bits),
+                          "little")
 
 
 def unpack_word(bits: int, num_bits: int) -> Array:
     """Bool-array view of an int bitset word (index-for-index)."""
-    raw = bits.to_bytes((num_bits + 7) // 8, "little")
-    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
-                         bitorder="little")[:num_bits].astype(bool)
+    return backend.unpack_bits(bits.to_bytes((num_bits + 7) // 8,
+                                             "little"), num_bits)
 
 
 def bank_test_many(filters: "typing.Sequence[BitFilter]", sites: Array,
@@ -300,12 +292,13 @@ class RoutePlan:
         n = int(len(groups))
         self.subset_rows = n
         if n:
-            order = np.argsort(groups, kind="stable")
-            sorted_groups = groups[order]
+            order, seg_starts, seg_ends, seg_groups = backend.split_groups(
+                np.ascontiguousarray(groups, dtype=np.int64),
+                len(dst_of_group))
             src = order if row_index is None else row_index[order]
-            cuts = (np.flatnonzero(np.diff(sorted_groups)) + 1).tolist()
-            starts = [0, *cuts]
-            ends = [*cuts, n]
+            starts = seg_starts.tolist()
+            ends = seg_ends.tolist()
+            groups_of_seg = seg_groups.tolist()
             src_list = src.tolist()
             if isinstance(rows, ColumnPage):
                 # Columnar source: one C-level gather of the whole
@@ -316,8 +309,7 @@ class RoutePlan:
             else:
                 sorted_rows = None
                 sorted_hashes = []
-            for a, b in zip(starts, ends):
-                group = int(sorted_groups[a])
+            for a, b, group in zip(starts, ends, groups_of_seg):
                 dst = dst_of_group[group]
                 bucket = (None if bucket_of_group is None
                           else bucket_of_group[group])

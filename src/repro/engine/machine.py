@@ -81,10 +81,14 @@ class GammaMachine:
 
         # Data-plane instrumentation (imported lazily: repro.core pulls
         # in the join drivers, which import this module).
+        from repro.core import backend
         from repro.core.kernels import DataPlaneCounters
         from repro.hashing import KeyHashMemo
         self.dataplane = DataPlaneCounters()
         self.key_hash_memo = KeyHashMemo()
+        # Backend dispatch counters are process-global; snapshot them
+        # here so this machine reports per-run deltas.
+        self._backend_base = dict(backend.counters())
 
         # Runtime conformance monitor (REPRO_VERIFY=1; None — and free —
         # by default).  Lazy import: the monitor pulls in the reference
@@ -174,11 +178,24 @@ class GammaMachine:
         return sum(n.disk.pages_written for n in self.disk_nodes
                    if n.disk is not None)
 
-    def dataplane_counters(self) -> dict[str, int]:
-        """Vectorized data-plane statistics (``--profile`` reporting)."""
-        counters = self.dataplane.as_dict()
+    def dataplane_counters(self) -> dict[str, typing.Any]:
+        """Vectorized data-plane statistics (``--profile`` reporting).
+
+        Includes the compiled-backend dispatch counters
+        (:func:`repro.core.backend.counters`): call counts as deltas
+        since this machine was built, plus the active engine name and
+        the process's one-time warmup seconds as-is.
+        """
+        from repro.core import backend
+        counters: dict[str, typing.Any] = self.dataplane.as_dict()
         counters["dp_hash_cache_hits"] = self.key_hash_memo.hits
         counters["dp_hash_cache_misses"] = self.key_hash_memo.misses
+        base = self._backend_base
+        for key, value in backend.counters().items():
+            if key in ("be_engine", "be_warmup_seconds"):
+                counters[key] = value
+            else:
+                counters[key] = value - base.get(key, 0)
         return counters
 
     def cpu_utilisations(self) -> dict[str, float]:

@@ -91,10 +91,12 @@ def _kernel_summary(outcome) -> str | None:
             if key.startswith("dp_"):
                 continue  # reported by _dataplane_summary
             if isinstance(value, str):
-                # Mode labels (e.g. sched_mode) aggregate as the set of
-                # distinct values, not a sum.
+                # Mode labels (e.g. sched_mode, be_engine) aggregate as
+                # the set of distinct values, not a sum.
                 labels.setdefault(key, set()).add(value)
-            elif key == "heap_peak":
+            elif key in ("heap_peak", "be_warmup_seconds"):
+                # Peaks / one-time per-process costs: points sharing a
+                # process would double-count under a sum.
                 totals[key] = max(totals.get(key, 0), value)
             else:
                 totals[key] = totals.get(key, 0) + value

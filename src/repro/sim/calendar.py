@@ -313,20 +313,28 @@ class CalendarQueue:
         self._build_days(pending, width)
 
     def _build_days(self, pending: list[float], width: float) -> None:
+        # Lazily imported: repro.core pulls in the engine package,
+        # which imports repro.sim — a cycle at module-import time.
+        # Engage/rebucket passes are rare (a handful per run), so the
+        # attribute lookup cost is irrelevant next to the O(pending)
+        # partition this hands to the compiled backend.
+        import numpy as np
+
+        from repro.core import backend
         self._set_width(width)
+        sorted_times, starts, ends, day_ids = backend.partition_days(
+            np.asarray(pending, dtype=np.float64), self.inv_width)
+        times_list: list[float] = sorted_times.tolist()
         days: dict[int, list[float]] = {}
-        inv_width = self.inv_width
-        for time in pending:
-            day = int(time * inv_width)
-            day_times = days.get(day)
-            if day_times is None:
-                days[day] = [time]
-            else:
-                day_times.append(time)
+        for a, b, day in zip(starts.tolist(), ends.tolist(),
+                             day_ids.tolist()):
+            days[day] = times_list[a:b]
         self.days = days
-        day_heap = list(days)
-        heapq.heapify(day_heap)
-        self.day_heap = day_heap
+        # Day ids arrive ascending — already a valid min-heap.  The
+        # per-day time lists arrive sorted, which the harvest in
+        # :meth:`peek_time` re-sorts (a no-op) — within-day order was
+        # never observable.
+        self.day_heap = day_ids.tolist()
 
     # -- removal ---------------------------------------------------------
 

@@ -850,6 +850,32 @@ class Simulator:
         # cohort event, but the distinct label population is bounded by
         # the process/resource count, so the regex runs once per label.
         norm_memo: dict[str, str] = {}
+        # Owner -> normalised label memo, keyed by the bound-method
+        # owner of an event's first callback.  Owners that precompute
+        # ``audit_label`` (processes, resources) determine their label
+        # outright, so the gate can skip ``event_label`` entirely for
+        # them — one getattr and a dict hit per cohort member.  Keys
+        # are the owner objects themselves (alive for the whole run),
+        # and the dict is never iterated, so identity hashing cannot
+        # leak into simulated order.
+        owner_memo: dict[typing.Any, str] = {}
+
+        def norm_of(event: typing.Any) -> str:
+            callbacks = event.callbacks
+            owner = (getattr(callbacks[0], "__self__", None)
+                     if callbacks else None)
+            if owner is not None:
+                norm = owner_memo.get(owner)
+                if norm is not None:
+                    return norm
+            label = event_label(event)
+            norm = norm_memo.get(label)
+            if norm is None:
+                norm = norm_memo[label] = normalise(label)
+            if (owner is not None
+                    and getattr(owner, "audit_label", None) is not None):
+                owner_memo[owner] = norm
+            return norm
 
         def benign(bucket: list, start: int, end: int) -> int:
             # Homogeneous fast path: cohorts whose members all carry
@@ -857,16 +883,10 @@ class Simulator:
             # peers) — no signature set/sort/join, just per-member
             # memo lookups.  ``normalised`` materialises lazily on the
             # first differing label.
-            label = event_label(bucket[start])
-            first = norm_memo.get(label)
-            if first is None:
-                first = norm_memo[label] = normalise(label)
+            first = norm_of(bucket[start])
             normalised: set[str] | None = None
             for k in range(start + 1, end):
-                label = event_label(bucket[k])
-                norm = norm_memo.get(label)
-                if norm is None:
-                    norm = norm_memo[label] = normalise(label)
+                norm = norm_of(bucket[k])
                 if normalised is not None:
                     normalised.add(norm)
                 elif norm != first:
